@@ -1,0 +1,88 @@
+"""Ablation — switch buffer depth (the Slide 6 "size of buffers").
+
+Sweeps the per-input FIFO depth on the paper's overlap setup, burst
+traffic.  Expected: deeper buffers absorb bursts (lower congestion
+rate), with diminishing returns once the buffer covers a whole burst —
+and each extra flit of depth costs slices in the FPGA, so the bench
+also prices every point via the synthesis model (the trade-off the
+platform exists to explore without re-synthesis... of the *real*
+hardware; the model here re-prices instantly).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, format_table
+from repro.core.config import paper_platform_config
+from repro.core.engine import EmulationEngine
+from repro.core.platform import build_platform
+from repro.fpga.synthesis import synthesize
+
+DEPTHS = (1, 2, 4, 8, 16)
+PACKETS = 1000
+
+
+def run_depth(depth: int):
+    cfg = paper_platform_config(
+        traffic="burst", max_packets=PACKETS, buffer_depth=depth,
+        seed=4,
+    )
+    platform = build_platform(cfg)
+    result = EmulationEngine(platform).run()
+    assert result.completed
+    synth = synthesize(cfg)
+    return {
+        "congestion": platform.congestion_rate(),
+        "latency": platform.mean_latency(),
+        "cycles": result.cycles,
+        "slices": synth.total_slices,
+    }
+
+
+def test_ablation_buffer_depth(benchmark):
+    results = {depth: run_depth(depth) for depth in DEPTHS}
+    rows = [
+        (
+            depth,
+            f"{r['congestion']:.4f}",
+            f"{r['latency']:.1f}",
+            r["cycles"],
+            r["slices"],
+        )
+        for depth, r in results.items()
+    ]
+    emit(
+        "ablation_buffers",
+        format_table(
+            [
+                "buffer depth",
+                "congestion",
+                "mean latency",
+                "cycles",
+                "platform slices",
+            ],
+            rows,
+        ),
+    )
+
+    # Deeper buffers strictly cost more FPGA area...
+    slices = [results[d]["slices"] for d in DEPTHS]
+    assert slices == sorted(slices)
+    assert slices[0] < slices[-1]
+    # ...and reduce blocking under burst traffic.
+    assert (
+        results[DEPTHS[-1]]["congestion"]
+        < results[DEPTHS[0]]["congestion"]
+    )
+    # Diminishing returns: the last doubling buys less congestion
+    # relief than the first.
+    first_relief = (
+        results[DEPTHS[0]]["congestion"]
+        - results[DEPTHS[1]]["congestion"]
+    )
+    last_relief = (
+        results[DEPTHS[-2]]["congestion"]
+        - results[DEPTHS[-1]]["congestion"]
+    )
+    assert last_relief < first_relief
+
+    benchmark(lambda: run_depth(4))

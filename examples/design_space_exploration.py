@@ -1,0 +1,75 @@
+"""Design-space exploration with the emulation flow.
+
+The point of the HW/SW flow (Slide 13) is that sweeping *software*
+settings — traffic parameters, routing tables — re-uses the
+synthesised hardware, while *hardware* parameters (buffer depth) force
+re-synthesis.  This example sweeps both axes:
+
+* software axis: routing case x burst length (no re-synthesis),
+* hardware axis: buffer depth (one re-synthesis per depth),
+
+and prints a cost/performance table: FPGA slices and clock from the
+synthesis model against measured congestion and latency.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro import EmulationFlow, paper_platform_config
+
+
+def main() -> None:
+    flow = EmulationFlow()
+    rows = []
+
+    for depth in (2, 4, 8):
+        for case in ("overlap", "split"):
+            config = paper_platform_config(
+                traffic="burst",
+                max_packets=800,
+                buffer_depth=depth,
+                routing_case=case,
+                seed=5,
+            )
+            config.name = f"depth{depth}_{case}"
+            report = flow.run(config)
+            platform_latency = (
+                report.result.cycles / report.result.packets_received
+            )
+            rows.append(
+                (
+                    config.name,
+                    depth,
+                    case,
+                    report.synthesis.total_slices,
+                    f"{report.synthesis.clock_hz / 1e6:.0f} MHz",
+                    report.result.cycles,
+                    f"{platform_latency:.1f}",
+                    "yes" if report.resynthesized else "cached",
+                )
+            )
+
+    headers = (
+        "config", "depth", "routing", "slices", "clock",
+        "cycles", "cyc/pkt", "synthesis",
+    )
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows))
+        for i, h in enumerate(headers)
+    ]
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print(
+            "  ".join(str(c).ljust(w) for c, w in zip(row, widths))
+        )
+
+    print(
+        f"\nsynthesis model ran {flow.synthesis_runs} times for"
+        f" {len(rows)} experiments — routing/traffic changes reused"
+        f" the cached hardware, exactly the re-synthesis avoidance"
+        f" the paper's flow is built around."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: this host has no `wheel` package, so editable
+installs go through `pip install -e . --no-use-pep517`, which needs a
+setup.py entry point.  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

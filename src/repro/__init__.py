@@ -1,0 +1,89 @@
+"""repro — a reproduction of "A Complete Network-On-Chip Emulation
+Framework" (Genko, Atienza, De Micheli, Mendias, Hermida, Catthoor —
+DATE 2005).
+
+The package models the paper's FPGA-hosted NoC emulation platform in
+pure Python: a cycle-level network of parameterisable switches
+(``repro.noc``), stochastic and trace-driven traffic generators
+(``repro.traffic``), statistics receptors (``repro.receptors``,
+``repro.stats``), the memory-mapped HW/SW platform with its processor,
+monitor and six-step emulation flow (``repro.core``), an FPGA
+synthesis/resource model calibrated against the paper's Table 1
+(``repro.fpga``), and the RTL/TLM baseline simulators of the speed
+comparison (``repro.baselines``).
+
+Quickstart::
+
+    from repro import paper_platform_config, EmulationFlow
+
+    flow = EmulationFlow()
+    report = flow.run(paper_platform_config(max_packets=2000))
+    print(report.report_text)
+"""
+
+from repro.core import (
+    BusFabric,
+    ConfigError,
+    EmulationEngine,
+    EmulationError,
+    EmulationFlow,
+    EmulationPlatform,
+    EngineResult,
+    FlowReport,
+    Monitor,
+    PlatformConfig,
+    Processor,
+    TGSpec,
+    TRSpec,
+    build_platform,
+    paper_platform_config,
+)
+from repro.noc import (
+    Network,
+    Packet,
+    Switch,
+    SwitchConfig,
+    SwitchingMode,
+    Topology,
+    paper_topology,
+)
+from repro.traffic import (
+    BurstTraffic,
+    PoissonTraffic,
+    Trace,
+    TraceTraffic,
+    UniformTraffic,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BurstTraffic",
+    "BusFabric",
+    "ConfigError",
+    "EmulationEngine",
+    "EmulationError",
+    "EmulationFlow",
+    "EmulationPlatform",
+    "EngineResult",
+    "FlowReport",
+    "Monitor",
+    "Network",
+    "Packet",
+    "PlatformConfig",
+    "PoissonTraffic",
+    "Processor",
+    "Switch",
+    "SwitchConfig",
+    "SwitchingMode",
+    "TGSpec",
+    "TRSpec",
+    "Topology",
+    "Trace",
+    "TraceTraffic",
+    "UniformTraffic",
+    "build_platform",
+    "paper_platform_config",
+    "paper_topology",
+    "__version__",
+]

@@ -1,0 +1,175 @@
+"""A miniature event-driven HDL simulation kernel.
+
+This is the substrate of the RTL baseline (DESIGN.md §2): signals carry
+values and fire events on change; processes are sensitive to signals
+and re-evaluate when any of them changes; updates within one time step
+settle through *delta cycles* exactly as in a VHDL/Verilog simulator.
+A dedicated clock signal advances simulated time.
+
+The kernel is deliberately faithful to how ModelSim-class simulators
+work — per-signal event queues, sensitivity-driven re-evaluation,
+non-blocking assignment semantics — because the speed comparison of
+the paper hinges on that per-event cost.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional, Set
+
+MAX_DELTA_CYCLES = 1000
+
+
+class SimulationError(RuntimeError):
+    """Kernel-level failure (non-settling logic, bad wiring)."""
+
+
+class Signal:
+    """A value holder with change events and non-blocking updates.
+
+    Reads return the *current* value; writes via :meth:`assign` take
+    effect at the next delta cycle (non-blocking assignment), so all
+    processes within one delta see a consistent snapshot.
+    """
+
+    __slots__ = ("name", "_value", "_next", "_listeners", "events")
+
+    def __init__(self, name: str, value=0) -> None:
+        self.name = name
+        self._value = value
+        self._next = None  # pending (value,) or None
+        self._listeners: List["Process"] = []
+        self.events = 0  # number of value changes (activity metric)
+
+    @property
+    def value(self):
+        return self._value
+
+    def assign(self, value) -> bool:
+        """Schedule a new value; return True if it differs (will fire)."""
+        if value == self._value and self._next is None:
+            return False
+        self._next = (value,)
+        return True
+
+    def _commit(self) -> bool:
+        """Apply the pending value; return True if the value changed."""
+        if self._next is None:
+            return False
+        (value,) = self._next
+        self._next = None
+        if value == self._value:
+            return False
+        self._value = value
+        self.events += 1
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Signal({self.name!r}={self._value!r})"
+
+
+class Process:
+    """A simulation process with a static sensitivity list."""
+
+    __slots__ = ("name", "callback", "runs")
+
+    def __init__(self, name: str, callback: Callable[[], None]) -> None:
+        self.name = name
+        self.callback = callback
+        self.runs = 0
+
+    def run(self) -> None:
+        self.runs += 1
+        self.callback()
+
+
+class EventSimulator:
+    """Delta-cycle scheduler over signals and processes."""
+
+    def __init__(self) -> None:
+        self.signals: List[Signal] = []
+        self.processes: List[Process] = []
+        self.time = 0  # in clock cycles
+        self.total_events = 0
+        self.total_process_runs = 0
+        self._pending: List[Signal] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def signal(self, name: str, value=0) -> Signal:
+        sig = Signal(name, value)
+        self.signals.append(sig)
+        return sig
+
+    def process(
+        self,
+        name: str,
+        callback: Callable[[], None],
+        sensitive_to: List[Signal],
+    ) -> Process:
+        proc = Process(name, callback)
+        self.processes.append(proc)
+        for sig in sensitive_to:
+            sig._listeners.append(proc)
+        return proc
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def touch(self, signal: Signal, value) -> None:
+        """Drive a signal (testbench stimulus or process assignment).
+
+        Processes must route their assignments through this method (or
+        :meth:`post`, its alias) so the kernel schedules the resulting
+        delta cycle.
+        """
+        if signal.assign(value):
+            self._pending.append(signal)
+
+    #: Alias used by process bodies for readability.
+    post = touch
+
+    def settle(self) -> int:
+        """Run delta cycles until no more events; return deltas used."""
+        deltas = 0
+        while self._pending:
+            deltas += 1
+            if deltas > MAX_DELTA_CYCLES:
+                raise SimulationError(
+                    f"logic failed to settle after {MAX_DELTA_CYCLES}"
+                    f" delta cycles at time {self.time} (combinational"
+                    f" loop?)"
+                )
+            changed, self._pending = self._pending, []
+            woken: List[Process] = []
+            seen: Set[int] = set()
+            for sig in changed:
+                if sig._commit():
+                    self.total_events += 1
+                    for proc in sig._listeners:
+                        if id(proc) not in seen:
+                            seen.add(id(proc))
+                            woken.append(proc)
+            for proc in woken:
+                proc.run()
+                self.total_process_runs += 1
+        return deltas
+
+    def drive(self, assignments: Dict[Signal, object]) -> None:
+        """Testbench convenience: drive several signals, then settle."""
+        for sig, value in assignments.items():
+            self.touch(sig, value)
+        self.settle()
+
+    def tick(self, clock: Signal) -> None:
+        """One full clock cycle: rising edge, settle, falling edge."""
+        self.touch(clock, 1)
+        self.settle()
+        self.touch(clock, 0)
+        self.settle()
+        self.time += 1
+
+    def run_cycles(self, clock: Signal, cycles: int) -> None:
+        for _ in range(cycles):
+            self.tick(clock)

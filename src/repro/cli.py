@@ -1,0 +1,208 @@
+"""Command-line interface.
+
+The hardware platform is driven from a host PC; this CLI is that
+host-side tooling for the Python reproduction::
+
+    python -m repro run    --traffic burst --packets 2000
+    python -m repro synth  --receptors stochastic
+    python -m repro speed  --packets 500
+    python -m repro sweep  --metric latency
+
+``run`` executes one emulation through the full six-step flow and
+prints the monitor's final report; ``synth`` prints the Table 1-style
+utilisation report only; ``speed`` measures the three engines and
+prints the Table 2-style comparison; ``sweep`` regenerates the
+packets-per-burst series of the trace-driven figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.core.config import paper_platform_config
+from repro.core.engine import EmulationEngine
+from repro.core.flow import EmulationFlow
+from repro.core.platform import build_platform
+from repro.fpga.synthesis import synthesize
+
+
+def _add_platform_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--traffic",
+        default="uniform",
+        choices=("uniform", "burst", "poisson", "onoff", "trace"),
+        help="traffic model family (default: uniform)",
+    )
+    parser.add_argument(
+        "--load",
+        type=float,
+        default=0.45,
+        help="offered load per generator (default: 0.45, the paper's)",
+    )
+    parser.add_argument(
+        "--length",
+        type=int,
+        default=8,
+        help="packet length in flits (default: 8)",
+    )
+    parser.add_argument(
+        "--routing",
+        default="overlap",
+        choices=("overlap", "disjoint", "split"),
+        help="paper route case (default: overlap)",
+    )
+    parser.add_argument(
+        "--depth",
+        type=int,
+        default=4,
+        help="switch buffer depth in flits (default: 4)",
+    )
+    parser.add_argument(
+        "--receptors",
+        default="tracedriven",
+        choices=("tracedriven", "stochastic"),
+        help="receptor kind (default: tracedriven)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="LFSR seed (default: 1)"
+    )
+
+
+def _config_from(args: argparse.Namespace, max_packets: Optional[int]):
+    return paper_platform_config(
+        traffic=args.traffic,
+        load=args.load,
+        length=args.length,
+        max_packets=max_packets,
+        routing_case=args.routing,
+        receptor_kind=args.receptors,
+        buffer_depth=args.depth,
+        seed=args.seed,
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from(args, args.packets)
+    flow = EmulationFlow()
+    report = flow.run(config)
+    print(report.report_text)
+    return 0
+
+
+def cmd_synth(args: argparse.Namespace) -> int:
+    config = _config_from(args, None)
+    report = synthesize(config, auto_part=args.auto_part)
+    print(report.render())
+    return 0 if report.fits else 1
+
+
+def cmd_speed(args: argparse.Namespace) -> int:
+    from repro.baselines.speed import measure_engine_speeds, speed_report
+
+    measurements = measure_engine_speeds(
+        emulation_packets=args.packets,
+        tlm_packets=max(10, args.packets // 5),
+        rtl_packets=max(5, args.packets // 40),
+    )
+    print(speed_report(measurements).render())
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    print(f"packets/burst  {args.metric}")
+    for ppb in (1, 2, 4, 8, 16, 32, 64):
+        platform = build_platform(
+            paper_platform_config(
+                traffic="trace",
+                max_packets=None,
+                routing_case=args.routing,
+                traffic_params={
+                    "n_bursts": max(2, args.budget // ppb),
+                    "packets_per_burst": ppb,
+                },
+                seed=args.seed,
+            )
+        )
+        EmulationEngine(platform).run()
+        if args.metric == "latency":
+            value = f"{platform.mean_latency():.1f}"
+        else:
+            value = f"{platform.congestion_rate():.4f}"
+        print(f"{ppb:>13}  {value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "NoC emulation framework (Genko et al., DATE 2005"
+            " reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser(
+        "run", help="run one emulation through the full flow"
+    )
+    _add_platform_options(run_parser)
+    run_parser.add_argument(
+        "--packets",
+        type=int,
+        default=2000,
+        help="packet budget per generator (default: 2000)",
+    )
+    run_parser.set_defaults(func=cmd_run)
+
+    synth_parser = sub.add_parser(
+        "synth", help="print the FPGA utilisation report"
+    )
+    _add_platform_options(synth_parser)
+    synth_parser.add_argument(
+        "--auto-part",
+        action="store_true",
+        help="pick the smallest fitting Virtex-2 Pro part",
+    )
+    synth_parser.set_defaults(func=cmd_synth)
+
+    speed_parser = sub.add_parser(
+        "speed", help="measure the engines and print the speed table"
+    )
+    speed_parser.add_argument(
+        "--packets",
+        type=int,
+        default=500,
+        help="fast-engine packet budget per flow (default: 500)",
+    )
+    speed_parser.set_defaults(func=cmd_speed)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="packets-per-burst sweep (trace-driven figures)"
+    )
+    sweep_parser.add_argument(
+        "--metric",
+        default="latency",
+        choices=("latency", "congestion"),
+        help="series to print (default: latency)",
+    )
+    sweep_parser.add_argument(
+        "--routing",
+        default="overlap",
+        choices=("overlap", "disjoint", "split"),
+    )
+    sweep_parser.add_argument("--budget", type=int, default=512)
+    sweep_parser.add_argument("--seed", type=int, default=1)
+    sweep_parser.set_defaults(func=cmd_sweep)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution path
+    raise SystemExit(main())

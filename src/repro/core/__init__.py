@@ -1,0 +1,51 @@
+"""The emulation framework (the paper's contribution).
+
+``repro.core`` assembles the substrates into the HW/SW emulation
+platform of Genko et al.: a network of switches plus traffic generators
+and receptors (HW side), configured and orchestrated by a processor
+over a memory-mapped bus fabric (SW side), with a monitor rendering
+the final report and a six-step emulation flow that only repeats the
+expensive hardware steps when hardware parameters actually change.
+"""
+
+from repro.core.bus import AddressError, BusFabric, Device
+from repro.core.config import (
+    PlatformConfig,
+    TGSpec,
+    TRSpec,
+    paper_platform_config,
+)
+from repro.core.control import ControlDevice
+from repro.core.devices import TGDevice, TRDevice
+from repro.core.engine import EmulationEngine, EngineResult
+from repro.core.errors import ConfigError, EmulationError
+from repro.core.flow import EmulationFlow, FlowReport
+from repro.core.monitor import Monitor
+from repro.core.platform import EmulationPlatform, build_platform
+from repro.core.processor import Processor
+from repro.core.registers import Register, RegisterBank
+
+__all__ = [
+    "AddressError",
+    "BusFabric",
+    "ConfigError",
+    "ControlDevice",
+    "Device",
+    "EmulationEngine",
+    "EmulationError",
+    "EmulationFlow",
+    "EmulationPlatform",
+    "EngineResult",
+    "FlowReport",
+    "Monitor",
+    "PlatformConfig",
+    "Processor",
+    "Register",
+    "RegisterBank",
+    "TGDevice",
+    "TGSpec",
+    "TRDevice",
+    "TRSpec",
+    "build_platform",
+    "paper_platform_config",
+]

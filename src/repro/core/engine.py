@@ -1,0 +1,144 @@
+"""The emulation engine.
+
+Runs a platform until its traffic budget completes (or a cycle/packet
+limit is hit), measuring both the *emulated* time — cycles at the
+platform clock, the quantity Slide 18 reports as "Our Emulation" — and
+the *wall-clock* throughput of this software engine in emulated cycles
+per second, which the speed-comparison bench contrasts with the RTL and
+TLM baseline engines.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.errors import EmulationError
+from repro.core.platform import EmulationPlatform
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one emulation run."""
+
+    cycles: int
+    packets_sent: int
+    packets_received: int
+    wall_seconds: float
+    f_clk_hz: float
+    completed: bool  # traffic budget exhausted and network drained
+
+    @property
+    def emulated_seconds(self) -> float:
+        """Time the run would take on the 50 MHz FPGA platform."""
+        return self.cycles / self.f_clk_hz
+
+    @property
+    def engine_cycles_per_sec(self) -> float:
+        """Measured speed of this software engine."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.cycles / self.wall_seconds
+
+    @property
+    def cycles_per_packet(self) -> float:
+        """Calibration constant for the run-time model."""
+        if self.packets_received == 0:
+            return 0.0
+        return self.cycles / self.packets_received
+
+
+class EmulationEngine:
+    """Drives an :class:`~repro.core.platform.EmulationPlatform`.
+
+    The engine owns the run loop the embedded processor's firmware
+    implements on the real platform: start the control module, step
+    until the stop condition, stop, and hand the platform back for
+    statistics readout.
+    """
+
+    def __init__(self, platform: EmulationPlatform) -> None:
+        self.platform = platform
+
+    def run(
+        self,
+        max_cycles: Optional[int] = None,
+        max_packets: Optional[int] = None,
+        drain: bool = True,
+        check_interval: int = 64,
+    ) -> EngineResult:
+        """Run until done (budget exhausted + drained) or a limit hits.
+
+        ``max_packets`` stops once that many packets have been
+        *received* platform-wide (the "number of sent packets" axis of
+        Slide 20 is swept by setting TG budgets instead).  Completion
+        checks cost Python time, so they run every ``check_interval``
+        cycles.
+        """
+        if max_cycles is None and max_packets is None:
+            budget_bounded = all(
+                g.max_packets is not None
+                or getattr(g.model, "exhausted", None) is not None
+                for g in self.platform.generators
+            )
+            if not budget_bounded:
+                raise EmulationError(
+                    "unbounded run: no max_cycles/max_packets and at"
+                    " least one generator has no packet budget"
+                )
+        platform = self.platform
+        platform.control.start()
+        start_cycle = platform.cycle
+        started = time.perf_counter()
+        completed = False
+        since_check = 0
+        last_received = platform.packets_received
+        stagnant_cycles = 0
+        while platform.control.running:
+            platform.step()
+            since_check += 1
+            if max_cycles is not None and (
+                platform.cycle - start_cycle
+            ) >= max_cycles:
+                break
+            if since_check < check_interval:
+                continue
+            since_check = 0
+            if (
+                max_packets is not None
+                and platform.packets_received >= max_packets
+            ):
+                break
+            if platform.generators_done:
+                if not drain:
+                    completed = True
+                    break
+                if platform.network.is_drained:
+                    completed = True
+                    break
+                # Deadlock guard: traffic is over but flits stopped
+                # moving toward the receptors.
+                received = platform.packets_received
+                if received == last_received:
+                    stagnant_cycles += check_interval
+                    if stagnant_cycles >= 100_000:
+                        raise EmulationError(
+                            f"network failed to drain:"
+                            f" {platform.network.in_flight_flits}"
+                            f" flits stuck after traffic ended"
+                            f" (possible routing deadlock)"
+                        )
+                else:
+                    stagnant_cycles = 0
+                last_received = received
+        wall = time.perf_counter() - started
+        platform.control.stop()
+        return EngineResult(
+            cycles=platform.cycle - start_cycle,
+            packets_sent=platform.packets_sent,
+            packets_received=platform.packets_received,
+            wall_seconds=wall,
+            f_clk_hz=platform.config.f_clk_hz,
+            completed=completed or platform.is_done,
+        )

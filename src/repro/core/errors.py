@@ -1,0 +1,11 @@
+"""Exception hierarchy of the emulation framework."""
+
+from __future__ import annotations
+
+
+class EmulationError(RuntimeError):
+    """Base class for all emulation-framework failures."""
+
+
+class ConfigError(EmulationError):
+    """An invalid or inconsistent platform configuration."""

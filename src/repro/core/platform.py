@@ -1,0 +1,295 @@
+"""The emulation platform.
+
+Assembles the hardware side of the framework (Slide 8): the network of
+switches, one TG device per traffic generator, one TR device per
+receptor, and the control module, all attached to the bus fabric so the
+processor "can access each component by accessing their specific
+addresses".  :func:`build_platform` is the platform-compilation step of
+the flow: it elaborates a :class:`~repro.core.config.PlatformConfig`
+into a runnable platform.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.bus import BusFabric
+from repro.core.config import (
+    PlatformConfig,
+    TGSpec,
+    TRSpec,
+    make_traffic_model,
+)
+from repro.core.control import ControlDevice
+from repro.core.devices import TGDevice, TRDevice
+from repro.core.errors import ConfigError
+from repro.noc.network import Network
+from repro.noc.topology import Topology
+from repro.receptors.base import TrafficReceptor
+from repro.receptors.stochastic import StochasticReceptor
+from repro.receptors.tracedriven import TraceDrivenReceptor
+from repro.stats.congestion import network_congestion_rate
+from repro.traffic.generator import TrafficGenerator
+
+
+def _build_receptor(spec: TRSpec, n_nodes: int) -> TrafficReceptor:
+    params = dict(spec.params)
+    if spec.kind == "stochastic":
+        params.setdefault("n_sources", n_nodes)
+        return StochasticReceptor(spec.node, **params)
+    return TraceDrivenReceptor(spec.node, **params)
+
+
+class EmulationPlatform:
+    """A fully elaborated, runnable emulation platform.
+
+    Use :func:`build_platform` (or the :class:`~repro.core.flow.
+    EmulationFlow`) to construct one.  The platform advances one clock
+    cycle per :meth:`step`: traffic generators poll their models, then
+    the network moves flits, then receptors see completed packets
+    (their callbacks fire from within the network's ejection phase).
+    """
+
+    def __init__(
+        self,
+        config: PlatformConfig,
+        topology: Topology,
+        network: Network,
+        generators: List[TrafficGenerator],
+        receptors: List[TrafficReceptor],
+    ) -> None:
+        self.config = config
+        self.topology = topology
+        self.network = network
+        self.generators = generators
+        self.receptors = receptors
+        self.fabric = BusFabric()
+        self.control = ControlDevice()
+        self.tg_devices: List[TGDevice] = []
+        self.tr_devices: List[TRDevice] = []
+        self._attach_devices()
+
+    def _attach_devices(self) -> None:
+        self.fabric.attach(self.control, bus=0)
+        self.control.get_cycles = lambda: self.network.cycle
+        self.control.get_sent = lambda: self.packets_sent
+        self.control.get_received = lambda: self.packets_received
+        self.control.is_done = lambda: self.is_done
+        self.control.on_stat_reset = self.reset_statistics
+        for generator in self.generators:
+            device = TGDevice(f"tg{generator.node}", generator)
+            self.fabric.attach(device, bus=0)
+            self.tg_devices.append(device)
+        for receptor in self.receptors:
+            device = TRDevice(f"tr{receptor.node}", receptor)
+            self.fabric.attach(device, bus=0)
+            self.tr_devices.append(device)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the platform by one emulated clock cycle."""
+        now = self.network.cycle
+        for generator in self.generators:
+            generator.step(now)
+        self.network.step()
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.step()
+
+    @property
+    def cycle(self) -> int:
+        return self.network.cycle
+
+    # ------------------------------------------------------------------
+    # Progress and aggregate statistics
+    # ------------------------------------------------------------------
+    @property
+    def packets_sent(self) -> int:
+        return sum(g.packets_sent for g in self.generators)
+
+    @property
+    def packets_received(self) -> int:
+        return sum(r.packets_received for r in self.receptors)
+
+    @property
+    def generators_done(self) -> bool:
+        """True when every TG has exhausted its packet budget or trace."""
+        for generator in self.generators:
+            if generator.max_packets is None:
+                model = generator.model
+                exhausted = getattr(model, "exhausted", False)
+                if not exhausted:
+                    return False
+            elif not generator.done:
+                return False
+        return True
+
+    @property
+    def is_done(self) -> bool:
+        """All traffic emitted and the network fully drained."""
+        return self.generators_done and self.network.is_drained
+
+    def mean_latency(self) -> float:
+        """Mean packet latency over all trace-driven receptors."""
+        total, count = 0, 0
+        for receptor in self.receptors:
+            if isinstance(receptor, TraceDrivenReceptor):
+                total += receptor.latency.total_latency
+                count += receptor.latency.count
+        return total / count if count else 0.0
+
+    def max_latency(self) -> int:
+        peaks = [
+            r.latency.max_latency
+            for r in self.receptors
+            if isinstance(r, TraceDrivenReceptor)
+            and r.latency.max_latency is not None
+        ]
+        return max(peaks) if peaks else 0
+
+    def congestion_rate(self) -> float:
+        """Network-wide blocked-attempt fraction (Slide 21 metric)."""
+        return network_congestion_rate(self.network)
+
+    def total_stall_cycles(self) -> int:
+        return sum(
+            r.congestion.total_stall_cycles
+            for r in self.receptors
+            if isinstance(r, TraceDrivenReceptor)
+        )
+
+    def hot_link_loads(self) -> Dict[str, float]:
+        """Utilisation of every inter-switch link, keyed "a->b"."""
+        return {
+            f"{a}->{b}": load
+            for (a, b), load in self.network.link_loads().items()
+        }
+
+    def reset_statistics(self) -> None:
+        """Clear all statistics without touching configuration."""
+        self.network.reset_stats()
+        for receptor in self.receptors:
+            receptor.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"EmulationPlatform({self.config.name!r},"
+            f" switches={self.topology.n_switches},"
+            f" tg={len(self.generators)}, tr={len(self.receptors)})"
+        )
+
+
+def build_platform(config: PlatformConfig) -> EmulationPlatform:
+    """Platform compilation: elaborate a config into a platform.
+
+    Validates that TGs/TRs sit on existing nodes, that at most one
+    device occupies each node side, and that the routing tables cover
+    every (generator, destination) pair before anything runs.
+    """
+    topology = config.resolve_topology()
+    routing = config.resolve_routing(topology)
+    network = Network(
+        topology,
+        routing,
+        buffer_depth=config.buffer_depth,
+        arbitration=config.arbitration,
+        mode=config.switching,
+        sample_buffers=config.sample_buffers,
+    )
+    if not config.tgs:
+        raise ConfigError("platform has no traffic generators")
+    seen_tg_nodes = set()
+    generators: List[TrafficGenerator] = []
+    for spec in config.tgs:
+        if spec.node >= topology.n_nodes:
+            raise ConfigError(
+                f"TG node {spec.node} does not exist"
+                f" (topology has {topology.n_nodes} nodes)"
+            )
+        if spec.node in seen_tg_nodes:
+            raise ConfigError(
+                f"two traffic generators on node {spec.node}"
+            )
+        seen_tg_nodes.add(spec.node)
+        model = make_traffic_model(spec)
+        generators.append(
+            TrafficGenerator(
+                spec.node,
+                model,
+                network.nis[spec.node],
+                max_packets=spec.max_packets,
+                queue_limit=spec.queue_limit,
+            )
+        )
+    seen_tr_nodes = set()
+    receptors: List[TrafficReceptor] = []
+    for spec in config.trs:
+        if spec.node >= topology.n_nodes:
+            raise ConfigError(
+                f"TR node {spec.node} does not exist"
+                f" (topology has {topology.n_nodes} nodes)"
+            )
+        if spec.node in seen_tr_nodes:
+            raise ConfigError(f"two receptors on node {spec.node}")
+        seen_tr_nodes.add(spec.node)
+        receptor = _build_receptor(spec, topology.n_nodes)
+        receptor.attach(network.rx[spec.node])
+        receptors.append(receptor)
+    _validate_routes(topology, routing, config)
+    if config.check_deadlock:
+        _validate_deadlock_freedom(topology, routing, config)
+    return EmulationPlatform(
+        config, topology, network, generators, receptors
+    )
+
+
+def _validate_deadlock_freedom(topology, routing, config) -> None:
+    """Refuse routing tables whose channel dependencies can cycle."""
+    from repro.noc.deadlock import DeadlockError, assert_deadlock_free
+    from repro.traffic.base import DestinationChooser
+
+    destinations = set()
+    for spec in config.tgs:
+        dst = spec.params.get("dst")
+        if dst is None:
+            continue
+        if isinstance(dst, DestinationChooser):
+            destinations.update(dst.destinations())
+        elif isinstance(dst, int):
+            destinations.add(dst)
+        else:
+            destinations.update(dst)
+    if not destinations:
+        return  # pure trace objects: destinations unknown statically
+    try:
+        assert_deadlock_free(topology, routing, sorted(destinations))
+    except DeadlockError as exc:
+        raise ConfigError(str(exc)) from exc
+
+
+def _validate_routes(topology, routing, config: PlatformConfig) -> None:
+    """Check a route exists from every TG toward its destinations."""
+    from repro.traffic.base import DestinationChooser
+
+    for spec in config.tgs:
+        params = spec.params
+        dst = params.get("dst")
+        if dst is None:
+            continue  # trace objects carry their own destinations
+        if isinstance(dst, DestinationChooser):
+            destinations = dst.destinations()
+        elif isinstance(dst, int):
+            destinations = (dst,)
+        else:
+            destinations = tuple(dst)
+        switch = topology.switch_of_node(spec.node)
+        for destination in destinations:
+            if not routing.ports_for(switch, destination):
+                raise ConfigError(
+                    f"routing has no entry at switch {switch} for"
+                    f" destination node {destination} (TG on node"
+                    f" {spec.node})"
+                )

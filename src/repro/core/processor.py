@@ -1,0 +1,191 @@
+"""The embedded processor (software side of the HW/SW platform).
+
+Slide 8: "A Processor (i.e. PowerPC): Orchestrates the whole process
+... The processor can access each component by accessing their specific
+addresses."  This class is that orchestration firmware: every
+interaction with the platform goes through :class:`~repro.core.bus.
+BusFabric` reads and writes — it never touches the device objects
+directly — so the software/hardware boundary of the real platform is
+preserved and testable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.control import CTRL_RUN, CTRL_STAT_RESET, STATUS_DONE, STATUS_RUNNING
+from repro.core.devices import TG_CTRL_ENABLE, TG_CTRL_RESET
+from repro.core.errors import EmulationError
+from repro.core.platform import EmulationPlatform
+
+
+class Processor:
+    """Memory-mapped orchestration of an emulation platform."""
+
+    def __init__(self, platform: EmulationPlatform) -> None:
+        self.platform = platform
+        self.fabric = platform.fabric
+        # The address map produced by platform compilation: the
+        # firmware is linked against these constants.
+        self._control_base = platform.control.base_address
+        self._tg_addresses: Dict[int, int] = {
+            d.generator.node: d.base_address for d in platform.tg_devices
+        }
+        self._tr_addresses: Dict[int, int] = {
+            d.receptor.node: d.base_address for d in platform.tr_devices
+        }
+
+    # ------------------------------------------------------------------
+    # Raw access
+    # ------------------------------------------------------------------
+    def read(self, address: int) -> int:
+        return self.fabric.read(address)
+
+    def write(self, address: int, value: int) -> None:
+        self.fabric.write(address, value)
+
+    def _tg_reg(self, node: int, name: str) -> int:
+        try:
+            device = next(
+                d
+                for d in self.platform.tg_devices
+                if d.generator.node == node
+            )
+        except StopIteration:
+            raise EmulationError(f"no TG on node {node}") from None
+        return device.register_address(name)
+
+    def _tr_reg(self, node: int, name: str) -> int:
+        try:
+            device = next(
+                d
+                for d in self.platform.tr_devices
+                if d.receptor.node == node
+            )
+        except StopIteration:
+            raise EmulationError(f"no TR on node {node}") from None
+        return device.register_address(name)
+
+    def _control_reg(self, name: str) -> int:
+        return self.platform.control.register_address(name)
+
+    # ------------------------------------------------------------------
+    # Platform initialisation (flow step 3)
+    # ------------------------------------------------------------------
+    def initialise_generator(
+        self,
+        node: int,
+        seed: Optional[int] = None,
+        max_packets: Optional[int] = None,
+        params: Optional[Dict[int, int]] = None,
+    ) -> None:
+        """Write a TG's software settings and reset it.
+
+        ``params`` maps PARAM register index -> raw register value (see
+        :class:`~repro.core.devices.TGDevice` for the encoding).
+        """
+        if seed is not None:
+            self.write(self._tg_reg(node, "SEED"), seed)
+        if max_packets is not None:
+            self.write(self._tg_reg(node, "MAX_PKTS"), max_packets)
+        if params:
+            for index, value in params.items():
+                self.write(self._tg_reg(node, f"PARAM{index}"), value)
+        # Apply: reset with enable kept on.
+        self.write(
+            self._tg_reg(node, "CTRL"), TG_CTRL_ENABLE | TG_CTRL_RESET
+        )
+
+    def reset_statistics(self) -> None:
+        """Clear all statistics devices through the control module."""
+        ctrl = self._control_reg("CTRL")
+        current = self.read(ctrl)
+        self.write(ctrl, current | CTRL_STAT_RESET)
+
+    # ------------------------------------------------------------------
+    # Run control
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.write(self._control_reg("CTRL"), CTRL_RUN)
+
+    def stop(self) -> None:
+        self.write(self._control_reg("CTRL"), 0)
+
+    @property
+    def running(self) -> bool:
+        return bool(self.read(self._control_reg("STATUS")) & STATUS_RUNNING)
+
+    @property
+    def done(self) -> bool:
+        return bool(self.read(self._control_reg("STATUS")) & STATUS_DONE)
+
+    def cycles(self) -> int:
+        lo = self.read(self._control_reg("CYCLES_LO"))
+        hi = self.read(self._control_reg("CYCLES_HI"))
+        return (hi << 32) | lo
+
+    def progress(self) -> Dict[str, int]:
+        """The poll loop of the orchestration firmware."""
+        return {
+            "cycles": self.cycles(),
+            "sent": self.read(self._control_reg("SENT")),
+            "received": self.read(self._control_reg("RECEIVED")),
+        }
+
+    # ------------------------------------------------------------------
+    # Statistics readout (flow step 6 feeds on this)
+    # ------------------------------------------------------------------
+    def read_generator_counters(self, node: int) -> Dict[str, int]:
+        return {
+            name: self.read(self._tg_reg(node, name))
+            for name in ("SENT", "FLITS", "BACKPRES")
+        }
+
+    def read_receptor_counters(self, node: int) -> Dict[str, int]:
+        return {
+            name: self.read(self._tr_reg(node, name))
+            for name in ("PACKETS", "FLITS", "RUNTIME")
+        }
+
+    def read_latency_summary(self, node: int) -> Dict[str, float]:
+        """Latency analyzer readout of a trace-driven receptor."""
+        count = self.read(self._tr_reg(node, "LAT_COUNT"))
+        total = (
+            self.read(self._tr_reg(node, "LAT_SUM_HI")) << 32
+        ) | self.read(self._tr_reg(node, "LAT_SUM_LO"))
+        return {
+            "count": count,
+            "min": self.read(self._tr_reg(node, "LAT_MIN")),
+            "max": self.read(self._tr_reg(node, "LAT_MAX")),
+            "mean": (total / count) if count else 0.0,
+        }
+
+    def read_congestion_summary(self, node: int) -> Dict[str, int]:
+        """Congestion counter readout of a trace-driven receptor."""
+        stall = (
+            self.read(self._tr_reg(node, "STALL_HI")) << 32
+        ) | self.read(self._tr_reg(node, "STALL_LO"))
+        return {
+            "stall_cycles": stall,
+            "congested_packets": self.read(
+                self._tr_reg(node, "CONGESTED")
+            ),
+        }
+
+    def drain_histogram(self, node: int, which: int) -> List[int]:
+        """Read a stochastic receptor's histogram over the bus window."""
+        self.write(self._tr_reg(node, "HIST_SELECT"), which)
+        counts: List[int] = []
+        index = 0
+        total_reg = self._tr_reg(node, "HIST_TOTAL")
+        del total_reg  # total available if needed; we size by probing
+        data_reg = self._tr_reg(node, "HIST_DATA")
+        index_reg = self._tr_reg(node, "HIST_INDEX")
+        while True:
+            self.write(index_reg, index)
+            try:
+                counts.append(self.read(data_reg))
+            except EmulationError:
+                break  # ran off the end of the counter bank
+            index += 1
+        return counts

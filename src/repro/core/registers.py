@@ -1,0 +1,162 @@
+"""Memory-mapped register banks.
+
+Every platform device — traffic generator, traffic receptor, control
+module — exposes "a bench of registers" (Slide 10) that the processor
+reads and writes to parameterise and observe it.  A
+:class:`RegisterBank` is an ordered collection of 32-bit
+:class:`Register` objects; the bus fabric maps each register to
+``device_base + 4 * index``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.errors import EmulationError
+
+WORD_MASK = 0xFFFFFFFF
+WORD_BYTES = 4
+
+
+class RegisterAccessError(EmulationError):
+    """Illegal register access (unknown name/offset, read/write violation)."""
+
+
+class Register:
+    """One 32-bit register.
+
+    Parameters
+    ----------
+    name:
+        Register mnemonic (unique within its bank).
+    value:
+        Reset value.
+    writable:
+        Whether the processor may write it (counters are read-only).
+    on_write:
+        Callback ``(new_value) -> None`` fired after a processor write;
+        this is how register writes reach the underlying device model.
+    on_read:
+        Callback ``() -> int`` that produces the live value on processor
+        reads (used for counters that the device updates continuously).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        value: int = 0,
+        writable: bool = True,
+        on_write: Optional[Callable[[int], None]] = None,
+        on_read: Optional[Callable[[], int]] = None,
+    ) -> None:
+        self.name = name
+        self._value = value & WORD_MASK
+        self.writable = writable
+        self.on_write = on_write
+        self.on_read = on_read
+
+    def read(self) -> int:
+        if self.on_read is not None:
+            self._value = self.on_read() & WORD_MASK
+        return self._value
+
+    def write(self, value: int) -> None:
+        if not self.writable:
+            raise RegisterAccessError(
+                f"register {self.name!r} is read-only"
+            )
+        self._value = value & WORD_MASK
+        if self.on_write is not None:
+            self.on_write(self._value)
+
+    def poke(self, value: int) -> None:
+        """Device-side update (bypasses the read-only check)."""
+        self._value = value & WORD_MASK
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        mode = "rw" if self.writable else "ro"
+        return f"Register({self.name!r}, 0x{self._value:08x}, {mode})"
+
+
+class RegisterBank:
+    """An ordered, addressable collection of registers.
+
+    Register ``i`` lives at byte offset ``4 * i``; the bank rejects
+    unaligned and out-of-range accesses the way the bus slave logic of
+    the hardware device would.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._registers: List[Register] = []
+        self._by_name: Dict[str, Register] = {}
+
+    def add(self, register: Register) -> Register:
+        if register.name in self._by_name:
+            raise RegisterAccessError(
+                f"duplicate register name {register.name!r} in bank"
+                f" {self.name!r}"
+            )
+        self._registers.append(register)
+        self._by_name[register.name] = register
+        return register
+
+    def define(self, name: str, **kwargs) -> Register:
+        """Create and add a register in one call."""
+        return self.add(Register(name, **kwargs))
+
+    # ------------------------------------------------------------------
+    # Name-based access (device-internal and test convenience)
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Register:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise RegisterAccessError(
+                f"no register {name!r} in bank {self.name!r}"
+            ) from None
+
+    def names(self) -> List[str]:
+        return [r.name for r in self._registers]
+
+    def __len__(self) -> int:
+        return len(self._registers)
+
+    # ------------------------------------------------------------------
+    # Offset-based access (what the bus fabric uses)
+    # ------------------------------------------------------------------
+    def offset_of(self, name: str) -> int:
+        """Byte offset of a register within the bank."""
+        for index, register in enumerate(self._registers):
+            if register.name == name:
+                return index * WORD_BYTES
+        raise RegisterAccessError(
+            f"no register {name!r} in bank {self.name!r}"
+        )
+
+    def _register_at(self, offset: int) -> Register:
+        if offset % WORD_BYTES:
+            raise RegisterAccessError(
+                f"unaligned register access at offset 0x{offset:x} in"
+                f" bank {self.name!r}"
+            )
+        index = offset // WORD_BYTES
+        if not 0 <= index < len(self._registers):
+            raise RegisterAccessError(
+                f"offset 0x{offset:x} beyond bank {self.name!r}"
+                f" ({len(self._registers)} registers)"
+            )
+        return self._registers[index]
+
+    def read(self, offset: int) -> int:
+        return self._register_at(offset).read()
+
+    def write(self, offset: int, value: int) -> None:
+        self._register_at(offset).write(value)
+
+    def dump(self) -> Dict[str, int]:
+        """Name -> current value snapshot (monitor convenience)."""
+        return {r.name: r.read() for r in self._registers}

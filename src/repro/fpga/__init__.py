@@ -1,0 +1,52 @@
+"""FPGA synthesis model (substitute for the Xilinx toolchain + board).
+
+The paper reports per-device slice counts and utilisation on a Virtex-2
+Pro (Table 1 / Slide 17) and a 50 MHz platform clock (Slide 18).  We
+have no FPGA, so this package models the *accounting*: a component-level
+slice cost model calibrated against Table 1, a Virtex-2 Pro part
+database, a timing model for the achievable clock, and a synthesis
+"flow" producing the utilisation report the paper shows.
+
+Calibration note: the paper's utilisation figures (719 slices = 7.8%,
+371 = 4.0%, 18 = 0.2%, platform 7387 = 80%) are all consistent with a
+9280-slice part — the XC2VP20 — which is therefore the default target
+device.
+"""
+
+from repro.fpga.costs import (
+    ResourceEstimate,
+    control_cost,
+    platform_cost,
+    switch_cost,
+    tg_cost,
+    tr_cost,
+)
+from repro.fpga.device import (
+    FpgaPart,
+    VIRTEX2PRO_PARTS,
+    part_by_name,
+    smallest_fitting_part,
+)
+from repro.fpga.power import PowerReport, PowerRow, estimate_power
+from repro.fpga.synthesis import SynthesisReport, synthesize
+from repro.fpga.timing import achievable_clock_hz, critical_path_ns
+
+__all__ = [
+    "PowerReport",
+    "PowerRow",
+    "estimate_power",
+    "FpgaPart",
+    "ResourceEstimate",
+    "SynthesisReport",
+    "VIRTEX2PRO_PARTS",
+    "achievable_clock_hz",
+    "control_cost",
+    "critical_path_ns",
+    "part_by_name",
+    "platform_cost",
+    "smallest_fitting_part",
+    "switch_cost",
+    "synthesize",
+    "tg_cost",
+    "tr_cost",
+]

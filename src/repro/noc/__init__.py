@@ -1,0 +1,73 @@
+"""Cycle-level Network-on-Chip substrate.
+
+This package implements the packet-switched network the emulation
+platform of Genko et al. (DATE 2005) is built around: flits and packets,
+bounded flit buffers with credit-based flow control, parameterisable
+switches (number of inputs, number of outputs, buffer size — the three
+switch parameters the paper emulates), links, arbitration policies,
+routing (including the paper's "two routing possibilities" multi-path
+scheme) and topology construction, tied together by a cycle engine.
+"""
+
+from repro.noc.arbiter import (
+    Arbiter,
+    FixedPriorityArbiter,
+    MatrixArbiter,
+    RoundRobinArbiter,
+    make_arbiter,
+)
+from repro.noc.buffer import FlitBuffer
+from repro.noc.deadlock import (
+    DeadlockError,
+    assert_deadlock_free,
+    channel_dependency_graph,
+    is_deadlock_free,
+)
+from repro.noc.flit import Flit, FlitType, Packet
+from repro.noc.link import Link
+from repro.noc.network import Network
+from repro.noc.ni import NetworkInterface, ReassemblyBuffer
+from repro.noc.routing import (
+    MultiPathTableRouting,
+    RoutingError,
+    RoutingFunction,
+    TableRouting,
+    XYRouting,
+    build_multipath_tables,
+    build_shortest_path_tables,
+)
+from repro.noc.switch import Switch, SwitchConfig, SwitchingMode
+from repro.noc.topology import Topology, TopologyError, paper_topology
+
+__all__ = [
+    "Arbiter",
+    "DeadlockError",
+    "assert_deadlock_free",
+    "channel_dependency_graph",
+    "is_deadlock_free",
+    "FixedPriorityArbiter",
+    "Flit",
+    "FlitBuffer",
+    "FlitType",
+    "Link",
+    "MatrixArbiter",
+    "MultiPathTableRouting",
+    "Network",
+    "NetworkInterface",
+    "Packet",
+    "ReassemblyBuffer",
+    "RoundRobinArbiter",
+    "RoutingError",
+    "RoutingFunction",
+    "Switch",
+    "SwitchConfig",
+    "SwitchingMode",
+    "TableRouting",
+    "Topology",
+    "TopologyError",
+    "XYRouting",
+    "build_multipath_tables",
+    "build_shortest_path_tables",
+    "make_arbiter",
+    "paper_topology",
+]

@@ -1,0 +1,136 @@
+"""Bounded flit FIFOs.
+
+Each switch input port owns one ``FlitBuffer``.  Its depth is the "size
+of buffers" switch parameter of the paper (Slide 6).  The buffer keeps
+occupancy statistics so the FPGA resource model and the congestion
+statistics can be driven from the same object.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, Optional
+
+from repro.noc.flit import Flit
+
+
+class BufferFullError(RuntimeError):
+    """Raised on a push into a full buffer (a flow-control violation)."""
+
+
+class BufferEmptyError(RuntimeError):
+    """Raised on a pop/peek from an empty buffer."""
+
+
+class FlitBuffer:
+    """A bounded FIFO of flits with occupancy accounting.
+
+    Credit-based flow control guarantees a producer never pushes into a
+    full buffer; a push into a full buffer therefore raises instead of
+    silently dropping, because it indicates a protocol bug.
+    """
+
+    def __init__(self, capacity: int, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError(f"buffer capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._fifo: Deque[Flit] = deque()
+        # Statistics.
+        self.total_pushes = 0
+        self.total_pops = 0
+        self.peak_occupancy = 0
+        self.occupancy_cycles = 0  # integral of occupancy over cycles
+        self.full_cycles = 0  # cycles spent completely full
+        self._sampled_cycles = 0
+
+    # ------------------------------------------------------------------
+    # FIFO interface
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    def __iter__(self) -> Iterator[Flit]:
+        return iter(self._fifo)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._fifo
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._fifo) >= self.capacity
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self._fifo)
+
+    def push(self, flit: Flit) -> None:
+        if self.is_full:
+            raise BufferFullError(
+                f"push into full buffer {self.name or id(self)} "
+                f"(capacity {self.capacity})"
+            )
+        self._fifo.append(flit)
+        self.total_pushes += 1
+        if len(self._fifo) > self.peak_occupancy:
+            self.peak_occupancy = len(self._fifo)
+
+    def pop(self) -> Flit:
+        if self.is_empty:
+            raise BufferEmptyError(
+                f"pop from empty buffer {self.name or id(self)}"
+            )
+        self.total_pops += 1
+        return self._fifo.popleft()
+
+    def peek(self) -> Flit:
+        if self.is_empty:
+            raise BufferEmptyError(
+                f"peek into empty buffer {self.name or id(self)}"
+            )
+        return self._fifo[0]
+
+    def head(self) -> Optional[Flit]:
+        """Head flit or ``None`` when empty (non-raising peek)."""
+        return self._fifo[0] if self._fifo else None
+
+    def clear(self) -> None:
+        self._fifo.clear()
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def sample(self) -> None:
+        """Record one cycle's occupancy (called once per cycle)."""
+        self._sampled_cycles += 1
+        self.occupancy_cycles += len(self._fifo)
+        if self.is_full:
+            self.full_cycles += 1
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Average number of buffered flits over the sampled cycles."""
+        if self._sampled_cycles == 0:
+            return 0.0
+        return self.occupancy_cycles / self._sampled_cycles
+
+    @property
+    def full_fraction(self) -> float:
+        """Fraction of sampled cycles the buffer was completely full."""
+        if self._sampled_cycles == 0:
+            return 0.0
+        return self.full_cycles / self._sampled_cycles
+
+    def reset_stats(self) -> None:
+        self.total_pushes = 0
+        self.total_pops = 0
+        self.peak_occupancy = len(self._fifo)
+        self.occupancy_cycles = 0
+        self.full_cycles = 0
+        self._sampled_cycles = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FlitBuffer({self.name!r}, {len(self._fifo)}/{self.capacity})"
+        )

@@ -1,0 +1,142 @@
+"""Routing deadlock analysis.
+
+Wormhole switching deadlocks when the *channel dependency graph* (CDG)
+of a routing function contains a cycle (Dally & Seitz): a packet
+holding channel A while waiting for channel B creates the dependency
+A -> B, and a cyclic chain of such dependencies can stall forever.
+
+The emulation platform loads routing tables at initialisation time
+(software!), so a bad table can deadlock the emulated NoC without any
+hardware bug.  This module builds the CDG of any
+:class:`~repro.noc.routing.RoutingFunction` over a topology and checks
+it for cycles, so the platform-initialisation step can refuse unsafe
+tables before a multi-hour emulation hangs.
+
+A *channel* here is a directed inter-switch link ``(a, b)``; injection
+and ejection channels cannot participate in cycles (sources hold
+nothing upstream, sinks always drain) and are excluded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.noc.routing import RoutingFunction
+from repro.noc.topology import Topology
+
+Channel = Tuple[int, int]  # directed switch pair (a, b)
+
+
+class DeadlockError(RuntimeError):
+    """Raised by :func:`assert_deadlock_free` when a cycle exists."""
+
+
+def channel_dependency_graph(
+    topology: Topology,
+    routing: RoutingFunction,
+    destinations: Optional[Sequence[int]] = None,
+) -> Dict[Channel, Set[Channel]]:
+    """All channel dependencies the routing function can create.
+
+    For every destination and every switch, each input channel that a
+    packet toward that destination can occupy depends on every output
+    channel the routing function may pick next.  Multi-path functions
+    contribute all their candidate ports.
+    """
+    if destinations is None:
+        destinations = range(topology.n_nodes)
+    graph: Dict[Channel, Set[Channel]] = {}
+    for dst in destinations:
+        # Walk backwards: for every switch, the outgoing channels a
+        # packet to `dst` may use.
+        next_channels: Dict[int, List[Channel]] = {}
+        for s in range(topology.n_switches):
+            channels: List[Channel] = []
+            for port in routing.ports_for(s, dst):
+                ep = topology.switch_outputs[s][port]
+                if ep.kind == "switch":
+                    channels.append((s, ep.target))
+                # Ejection ports terminate the chain: no dependency.
+            next_channels[s] = channels
+        for s in range(topology.n_switches):
+            for incoming in next_channels[s]:
+                __, b = incoming
+                for outgoing in next_channels.get(b, ()):
+                    graph.setdefault(incoming, set()).add(outgoing)
+    return graph
+
+
+def find_dependency_cycle(
+    graph: Dict[Channel, Set[Channel]]
+) -> Optional[List[Channel]]:
+    """One cycle of the dependency graph, or ``None`` if acyclic.
+
+    Iterative DFS with colouring; returns the cycle as a channel list
+    ``[c0, c1, ..., c0]`` for diagnostics.
+    """
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour: Dict[Channel, int] = {c: WHITE for c in graph}
+    parent: Dict[Channel, Optional[Channel]] = {}
+
+    for root in graph:
+        if colour[root] != WHITE:
+            continue
+        stack: List[Tuple[Channel, Iterable[Channel]]] = [
+            (root, iter(graph.get(root, ())))
+        ]
+        colour[root] = GREY
+        parent[root] = None
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                if child not in colour:
+                    colour[child] = WHITE
+                if colour[child] == WHITE:
+                    colour[child] = GREY
+                    parent[child] = node
+                    stack.append((child, iter(graph.get(child, ()))))
+                    advanced = True
+                    break
+                if colour[child] == GREY:
+                    # Found a back edge: unwind the cycle.
+                    if child == node:  # self-dependency
+                        return [node, node]
+                    cycle = [child, node]
+                    walk = parent[node]
+                    while walk is not None and walk != child:
+                        cycle.append(walk)
+                        walk = parent[walk]
+                    cycle.append(child)
+                    cycle.reverse()
+                    return cycle
+            if not advanced:
+                colour[node] = BLACK
+                stack.pop()
+    return None
+
+
+def is_deadlock_free(
+    topology: Topology,
+    routing: RoutingFunction,
+    destinations: Optional[Sequence[int]] = None,
+) -> bool:
+    """True when the routing function's CDG is acyclic."""
+    graph = channel_dependency_graph(topology, routing, destinations)
+    return find_dependency_cycle(graph) is None
+
+
+def assert_deadlock_free(
+    topology: Topology,
+    routing: RoutingFunction,
+    destinations: Optional[Sequence[int]] = None,
+) -> None:
+    """Raise :class:`DeadlockError` naming a cycle if one exists."""
+    graph = channel_dependency_graph(topology, routing, destinations)
+    cycle = find_dependency_cycle(graph)
+    if cycle is not None:
+        pretty = " -> ".join(f"{a}->{b}" for a, b in cycle)
+        raise DeadlockError(
+            f"routing can deadlock: channel dependency cycle"
+            f" [{pretty}]"
+        )

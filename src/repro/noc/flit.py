@@ -1,0 +1,142 @@
+"""Flits and packets.
+
+The emulated NoC is packet-switched: a network interface segments each
+packet into *flits* (flow-control digits), the atomic unit moved by
+switches in one cycle.  A packet of ``length`` flits is encoded as one
+HEAD flit, ``length - 2`` BODY flits and one TAIL flit; a single-flit
+packet is a HEAD_TAIL flit.  The HEAD flit carries the routing
+information (destination), mirroring the header flit of the hardware
+platform.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+
+class FlitType(enum.Enum):
+    """Position of a flit within its packet."""
+
+    HEAD = "head"
+    BODY = "body"
+    TAIL = "tail"
+    HEAD_TAIL = "head_tail"
+
+    @property
+    def is_head(self) -> bool:
+        """True for flits that open a packet (carry routing info)."""
+        return self in (FlitType.HEAD, FlitType.HEAD_TAIL)
+
+    @property
+    def is_tail(self) -> bool:
+        """True for flits that close a packet (release wormhole channels)."""
+        return self in (FlitType.TAIL, FlitType.HEAD_TAIL)
+
+
+_packet_ids = itertools.count()
+
+
+def _next_packet_id() -> int:
+    return next(_packet_ids)
+
+
+@dataclass
+class Packet:
+    """A packet as produced by a traffic generator.
+
+    Parameters
+    ----------
+    src, dst:
+        Node indices of the generating and receiving network interface.
+    length:
+        Packet length in flits (>= 1).
+    injection_cycle:
+        Cycle at which the generator handed the packet to its network
+        interface.  Latency is measured from this point (the latency
+        analyzer of the paper measures generation-to-reception time).
+    wire_entry_cycle:
+        Cycle the HEAD flit actually left the network interface (set
+        by the NI).  ``wire_entry_cycle - injection_cycle`` is the
+        source-queueing component of the latency; the analyzer splits
+        total latency into queueing + network time with it.
+    burst_id:
+        Identifier of the burst this packet belongs to for burst/trace
+        traffic; ``None`` for traffic without burst structure.
+    payload:
+        Opaque payload used by tests and trace replay to check integrity.
+    """
+
+    src: int
+    dst: int
+    length: int
+    injection_cycle: int = 0
+    wire_entry_cycle: Optional[int] = None
+    burst_id: Optional[int] = None
+    payload: Optional[object] = None
+    pid: int = field(default_factory=_next_packet_id)
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ValueError(f"packet length must be >= 1, got {self.length}")
+        if self.src < 0 or self.dst < 0:
+            raise ValueError("src and dst must be non-negative node indices")
+
+    def flits(self) -> Iterator["Flit"]:
+        """Segment the packet into flits, in transmission order."""
+        if self.length == 1:
+            yield Flit(FlitType.HEAD_TAIL, self, seq=0)
+            return
+        yield Flit(FlitType.HEAD, self, seq=0)
+        for seq in range(1, self.length - 1):
+            yield Flit(FlitType.BODY, self, seq=seq)
+        yield Flit(FlitType.TAIL, self, seq=self.length - 1)
+
+    def flit_list(self) -> List["Flit"]:
+        """Eagerly segmented flits (convenience for tests)."""
+        return list(self.flits())
+
+
+class Flit:
+    """One flow-control digit of a packet.
+
+    A flit knows its packet, so the receiving network interface can
+    reassemble packets and the statistics devices can attribute latency
+    and congestion to the right flow.  ``stall_cycles`` accumulates the
+    number of cycles the flit sat at the head of a buffer without being
+    able to advance; the congestion counter aggregates it.
+
+    Flits are the unit object of the simulator's inner loop, so the
+    per-packet constants (``src``, ``dst``, ``is_head``, ``is_tail``)
+    are materialised as plain attributes at construction instead of
+    being recomputed through properties on every switch traversal.
+    """
+
+    __slots__ = (
+        "kind",
+        "packet",
+        "seq",
+        "stall_cycles",
+        "is_head",
+        "is_tail",
+        "src",
+        "dst",
+    )
+
+    def __init__(self, kind: FlitType, packet: Packet, seq: int) -> None:
+        self.kind = kind
+        self.packet = packet
+        self.seq = seq
+        self.stall_cycles = 0
+        self.is_head = kind is FlitType.HEAD or kind is FlitType.HEAD_TAIL
+        self.is_tail = kind is FlitType.TAIL or kind is FlitType.HEAD_TAIL
+        self.src = packet.src
+        self.dst = packet.dst
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Flit({self.kind.value}, pid={self.packet.pid}, seq={self.seq},"
+            f" {self.src}->{self.dst})"
+        )

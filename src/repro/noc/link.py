@@ -1,0 +1,102 @@
+"""Inter-switch links.
+
+A link is a unidirectional pipeline carrying one flit per cycle from an
+upstream switch output port to a downstream input buffer, plus the
+credit return path flowing the other way.  Link *load* (fraction of
+cycles carrying a flit) is the quantity the paper's experimental setup
+fixes at 90% on two inter-switch links (Slide 19), so every link keeps a
+utilisation counter that the monitor can read out.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.noc.flit import Flit
+
+
+class Link:
+    """A point-to-point flit pipeline with configurable latency.
+
+    Parameters
+    ----------
+    delay:
+        Number of cycles a flit spends in flight (>= 1).  The default of
+        one cycle matches a registered inter-switch wire on the FPGA.
+    name:
+        Human-readable identifier used in monitor reports, e.g.
+        ``"sw2:out1->sw4:in0"``.
+    """
+
+    def __init__(self, delay: int = 1, name: str = "") -> None:
+        if delay < 1:
+            raise ValueError(f"link delay must be >= 1, got {delay}")
+        self.delay = delay
+        self.name = name
+        self._in_flight: Deque[Tuple[int, Flit]] = deque()
+        self._credits_in_flight: Deque[Tuple[int, int]] = deque()
+        # Statistics.
+        self.flits_carried = 0
+        self.busy_cycles = 0
+        self._last_send_cycle: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Downstream flit path
+    # ------------------------------------------------------------------
+    def send(self, flit: Flit, now: int) -> None:
+        """Inject a flit at cycle ``now``; it arrives at ``now + delay``."""
+        if self._last_send_cycle == now:
+            raise RuntimeError(
+                f"link {self.name or id(self)} accepted two flits in cycle"
+                f" {now}; links carry one flit per cycle"
+            )
+        self._last_send_cycle = now
+        self._in_flight.append((now + self.delay, flit))
+        self.flits_carried += 1
+        self.busy_cycles += 1
+
+    def deliver(self, now: int) -> List[Flit]:
+        """Pop all flits whose arrival cycle is ``<= now``."""
+        arrived: List[Flit] = []
+        while self._in_flight and self._in_flight[0][0] <= now:
+            arrived.append(self._in_flight.popleft()[1])
+        return arrived
+
+    @property
+    def occupancy(self) -> int:
+        """Number of flits currently in flight."""
+        return len(self._in_flight)
+
+    # ------------------------------------------------------------------
+    # Upstream credit path
+    # ------------------------------------------------------------------
+    def return_credit(self, now: int, count: int = 1) -> None:
+        """Send ``count`` credits upstream; they arrive ``delay`` later."""
+        self._credits_in_flight.append((now + self.delay, count))
+
+    def collect_credits(self, now: int) -> int:
+        """Number of credits that have completed the return trip."""
+        total = 0
+        while (
+            self._credits_in_flight
+            and self._credits_in_flight[0][0] <= now
+        ):
+            total += self._credits_in_flight.popleft()[1]
+        return total
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def utilization(self, elapsed_cycles: int) -> float:
+        """Fraction of ``elapsed_cycles`` in which the link carried a flit."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / elapsed_cycles)
+
+    def reset_stats(self) -> None:
+        self.flits_carried = 0
+        self.busy_cycles = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Link({self.name!r}, delay={self.delay})"

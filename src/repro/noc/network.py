@@ -1,0 +1,324 @@
+"""Network assembly and the per-cycle dataflow.
+
+A :class:`Network` elaborates a :class:`~repro.noc.topology.Topology`
+into concrete switches, links and network interfaces, wires the credit
+paths, and exposes a single :meth:`Network.step` that advances the whole
+fabric by one clock cycle.  This is the "network of switches [that] can
+emulate any NoC packet-switching intercommunication scheme" at the heart
+of the hardware platform (Slide 13); the emulation engine in
+``repro.core`` drives it together with the traffic devices.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.noc.flit import Flit, Packet
+from repro.noc.link import Link
+from repro.noc.ni import NetworkInterface, ReassemblyBuffer
+from repro.noc.routing import RoutingFunction
+from repro.noc.switch import Switch, SwitchConfig, SwitchingMode
+from repro.noc.topology import Topology
+
+
+class Network:
+    """An elaborated NoC: switches + links + network interfaces.
+
+    Parameters
+    ----------
+    topology:
+        Switch graph and NI attachment points.
+    routing:
+        Routing function shared by all switches (table-based in the
+        hardware platform).
+    buffer_depth:
+        Per-input FIFO depth of every switch, in flits.
+    arbitration:
+        Arbitration policy name (see ``repro.noc.arbiter``).
+    mode:
+        Wormhole (default) or store-and-forward switching.
+    sample_buffers:
+        When True, every input buffer records its occupancy each cycle
+        (needed by buffer-utilisation reports; costs simulation speed).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        routing: RoutingFunction,
+        buffer_depth: int = 4,
+        arbitration: str = "round_robin",
+        mode: SwitchingMode = SwitchingMode.WORMHOLE,
+        sample_buffers: bool = False,
+    ) -> None:
+        topology.validate()
+        self.topology = topology
+        self.routing = routing
+        self.sample_buffers = sample_buffers
+        self.switches: List[Switch] = [
+            Switch(
+                s,
+                SwitchConfig(
+                    n_inputs=topology.n_inputs(s),
+                    n_outputs=topology.n_outputs(s),
+                    buffer_depth=buffer_depth,
+                    arbitration=arbitration,
+                    mode=mode,
+                ),
+                routing,
+            )
+            for s in range(topology.n_switches)
+        ]
+        self.nis: List[NetworkInterface] = [
+            NetworkInterface(node) for node in range(topology.n_nodes)
+        ]
+        self.rx: List[ReassemblyBuffer] = [
+            ReassemblyBuffer(node) for node in range(topology.n_nodes)
+        ]
+        self.links: List[Link] = []
+        #: Map from a directed switch pair (a, b) to the links carrying
+        #: a -> b traffic, for link-load monitoring (Slide 19's 90% links).
+        self.switch_links: Dict[Tuple[int, int], List[Link]] = {}
+        # Per-link upstream credit sink: called with the credit count.
+        self._credit_sinks: List[Callable[[int], None]] = []
+        # Per-link downstream flit sink: called with (flit, now).
+        self._flit_sinks: List[Callable[[Flit, int], None]] = []
+        self._wire()
+        # Pre-zipped scan lists so the per-cycle loop touches each
+        # link's queues without repeated attribute lookups.
+        self._credit_scan = [
+            (link._credits_in_flight, link, sink)
+            for link, sink in zip(self.links, self._credit_sinks)
+        ]
+        self._flit_scan = [
+            (link._in_flight, link, sink)
+            for link, sink in zip(self.links, self._flit_sinks)
+        ]
+        self.cycle = 0
+
+    # ------------------------------------------------------------------
+    # Elaboration
+    # ------------------------------------------------------------------
+    def _wire(self) -> None:
+        topo = self.topology
+        # Pair each switch->switch output endpoint with the matching
+        # input port on the target switch, in registration order (the
+        # k-th "from a" input source on b pairs with the k-th "to b"
+        # output endpoint on a).
+        input_cursor: Dict[Tuple[int, int], int] = {}
+
+        def next_input_port(a: int, b: int) -> int:
+            """Input port index on ``b`` fed by the next ``a -> b`` edge."""
+            start = input_cursor.get((a, b), 0)
+            seen = 0
+            for port, src in enumerate(topo.switch_inputs[b]):
+                if src.kind == "switch" and src.source == a:
+                    if seen == start:
+                        input_cursor[(a, b)] = start + 1
+                        return port
+                    seen += 1
+            raise RuntimeError(
+                f"no unpaired input port on switch {b} for link"
+                f" {a} -> {b}"
+            )
+
+        for a in range(topo.n_switches):
+            for out_port, ep in enumerate(topo.switch_outputs[a]):
+                if ep.kind == "switch":
+                    b = ep.target
+                    in_port = next_input_port(a, b)
+                    link = Link(
+                        delay=ep.delay,
+                        name=f"sw{a}:out{out_port}->sw{b}:in{in_port}",
+                    )
+                    self._add_switch_to_switch(
+                        link, a, out_port, b, in_port
+                    )
+                    self.switch_links.setdefault((a, b), []).append(link)
+                else:
+                    node = ep.target
+                    link = Link(
+                        delay=ep.delay,
+                        name=f"sw{a}:out{out_port}->node{node}",
+                    )
+                    self._add_ejection(link, a, out_port, node)
+
+        for node, sw in enumerate(topo.node_switch):
+            in_port = self._node_input_port(sw, node)
+            link = Link(delay=1, name=f"node{node}->sw{sw}:in{in_port}")
+            self._add_injection(link, node, sw, in_port)
+
+        for switch in self.switches:
+            switch.check_wired()
+
+    def _node_input_port(self, switch: int, node: int) -> int:
+        for port, src in enumerate(self.topology.switch_inputs[switch]):
+            if src.kind == "node" and src.source == node:
+                return port
+        raise RuntimeError(
+            f"node {node} has no input port on switch {switch}"
+        )
+
+    def _add_switch_to_switch(
+        self, link: Link, a: int, out_port: int, b: int, in_port: int
+    ) -> None:
+        up, down = self.switches[a], self.switches[b]
+        up.connect_output(
+            out_port, link.send, credits=down.inputs[in_port].capacity
+        )
+        down.connect_input_hook(in_port, link.return_credit)
+        self.links.append(link)
+        self._credit_sinks.append(
+            lambda n, _up=up, _p=out_port: _up.credit(_p, n)
+        )
+        self._flit_sinks.append(
+            lambda flit, now, _down=down, _p=in_port: _down.receive(
+                _p, flit
+            )
+        )
+
+    def _add_ejection(
+        self, link: Link, a: int, out_port: int, node: int
+    ) -> None:
+        up = self.switches[a]
+        rx = self.rx[node]
+        # A traffic receptor consumes one flit per cycle and never
+        # backpressures, hence infinite credits on ejection ports.
+        up.connect_output(out_port, link.send, credits=None)
+        self.links.append(link)
+        self._credit_sinks.append(lambda n: None)
+        self._flit_sinks.append(
+            lambda flit, now, _rx=rx: _rx.receive(flit, now)
+        )
+
+    def _add_injection(
+        self, link: Link, node: int, switch: int, in_port: int
+    ) -> None:
+        ni = self.nis[node]
+        down = self.switches[switch]
+        ni.connect(link, credits=down.inputs[in_port].capacity)
+        down.connect_input_hook(in_port, link.return_credit)
+        self.links.append(link)
+        self._credit_sinks.append(ni.credit)
+        self._flit_sinks.append(
+            lambda flit, now, _down=down, _p=in_port: _down.receive(
+                _p, flit
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Per-cycle dataflow
+    # ------------------------------------------------------------------
+    def step(self) -> int:
+        """Advance the fabric by one clock cycle; return flits moved.
+
+        Phase order within the cycle:
+
+        1. credits complete their upstream return trip,
+        2. switches arbitrate and move flits onto links,
+        3. links deliver flits that finished their flight,
+        4. network interfaces inject queued flits.
+
+        A flit delivered in phase 3 therefore traverses its next switch
+        no earlier than the following cycle, giving the registered
+        one-cycle-per-hop behaviour of the hardware switches.
+        """
+        now = self.cycle
+        for queue, link, sink in self._credit_scan:
+            if queue and queue[0][0] <= now:
+                sink(link.collect_credits(now))
+        moved = 0
+        for switch in self.switches:
+            moved += switch.traverse(now)
+        for queue, link, sink in self._flit_scan:
+            if queue and queue[0][0] <= now:
+                for flit in link.deliver(now):
+                    sink(flit, now)
+        for ni in self.nis:
+            if ni._flits:
+                ni.inject(now)
+        if self.sample_buffers:
+            for switch in self.switches:
+                switch.sample_buffers()
+        self.cycle = now + 1
+        return moved
+
+    def run(self, cycles: int) -> None:
+        """Advance the fabric by ``cycles`` clock cycles."""
+        for _ in range(cycles):
+            self.step()
+
+    # ------------------------------------------------------------------
+    # Injection/ejection conveniences and drain detection
+    # ------------------------------------------------------------------
+    def offer(self, packet: Packet) -> None:
+        """Queue a packet at the NI of its source node."""
+        self.nis[packet.src].offer(packet)
+
+    @property
+    def in_flight_flits(self) -> int:
+        """Flits anywhere between an NI queue and reassembly."""
+        total = sum(ni.pending_flits for ni in self.nis)
+        total += sum(sw.buffered_flits for sw in self.switches)
+        total += sum(link.occupancy for link in self.links)
+        return total
+
+    @property
+    def is_drained(self) -> bool:
+        """True when no flit is queued, buffered, in flight or partial."""
+        if any(not ni.idle for ni in self.nis):
+            return False
+        if any(link.occupancy for link in self.links):
+            return False
+        if any(sw.buffered_flits for sw in self.switches):
+            return False
+        return all(rx.partial_packets == 0 for rx in self.rx)
+
+    def drain(self, max_cycles: int = 1_000_000) -> int:
+        """Step until drained; return cycles spent.  Raises on timeout."""
+        start = self.cycle
+        while not self.is_drained:
+            if self.cycle - start > max_cycles:
+                raise RuntimeError(
+                    f"network failed to drain within {max_cycles} cycles"
+                    f" ({self.in_flight_flits} flits in flight —"
+                    f" possible deadlock)"
+                )
+            self.step()
+        return self.cycle - start
+
+    # ------------------------------------------------------------------
+    # Monitoring
+    # ------------------------------------------------------------------
+    def link_between(self, a: int, b: int) -> Link:
+        """The (first) inter-switch link ``a -> b``."""
+        try:
+            return self.switch_links[(a, b)][0]
+        except (KeyError, IndexError):
+            raise KeyError(f"no link between switches {a} and {b}") from None
+
+    def link_loads(self) -> Dict[Tuple[int, int], float]:
+        """Utilisation of every inter-switch link since cycle 0."""
+        elapsed = max(1, self.cycle)
+        loads: Dict[Tuple[int, int], float] = {}
+        for pair, links in self.switch_links.items():
+            for link in links:
+                loads[pair] = max(
+                    loads.get(pair, 0.0), link.utilization(elapsed)
+                )
+        return loads
+
+    @property
+    def total_blocked_flit_cycles(self) -> int:
+        """Network-wide head-of-line blocking events (congestion input)."""
+        return sum(sw.blocked_flit_cycles for sw in self.switches)
+
+    def reset_stats(self) -> None:
+        for sw in self.switches:
+            sw.reset_stats()
+        for link in self.links:
+            link.reset_stats()
+        for ni in self.nis:
+            ni.reset_stats()
+        for rx in self.rx:
+            rx.reset_stats()

@@ -1,0 +1,161 @@
+"""Network interfaces.
+
+Slide 10 of the paper: the traffic-generator structure ends in "a
+network interface [that] converts a traffic pattern in flits for NoC"
+and "can be adapted for any type of NoC".  The TX side here segments
+packets into flits and injects them under credit-based flow control; the
+RX side reassembles flits into packets and hands completed packets to
+whatever receptor device is attached.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.noc.flit import Flit, Packet
+from repro.noc.link import Link
+
+
+class NetworkInterface:
+    """Transmit-side NI: packet segmentation plus credit-controlled injection.
+
+    One instance sits between a traffic generator and the input port of
+    its local switch.  ``offer`` queues a packet; :meth:`inject` is
+    called once per cycle by the network and pushes at most one flit
+    onto the injection link when a downstream buffer slot (credit) is
+    available.
+    """
+
+    def __init__(self, node: int, name: str = "") -> None:
+        self.node = node
+        self.name = name or f"ni{node}"
+        self._flits: Deque[Flit] = deque()
+        self._link: Optional[Link] = None
+        self._credits = 0
+        # Statistics.
+        self.offered_packets = 0
+        self.injected_flits = 0
+        self.injected_packets = 0
+        self.stall_cycles = 0
+        self.peak_queue = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def connect(self, link: Link, credits: int) -> None:
+        if self._link is not None:
+            raise RuntimeError(f"{self.name} is already connected")
+        self._link = link
+        self._credits = credits
+
+    # ------------------------------------------------------------------
+    # Generator-facing interface
+    # ------------------------------------------------------------------
+    def offer(self, packet: Packet) -> None:
+        """Queue ``packet`` for injection (segmented immediately)."""
+        self.offered_packets += 1
+        self._flits.extend(packet.flits())
+        if len(self._flits) > self.peak_queue:
+            self.peak_queue = len(self._flits)
+
+    @property
+    def pending_flits(self) -> int:
+        """Flits queued but not yet on the wire (source queue depth)."""
+        return len(self._flits)
+
+    @property
+    def idle(self) -> bool:
+        return not self._flits
+
+    # ------------------------------------------------------------------
+    # Network-facing interface
+    # ------------------------------------------------------------------
+    def credit(self, count: int = 1) -> None:
+        self._credits += count
+
+    def inject(self, now: int) -> bool:
+        """Try to put one flit on the wire; return True on success."""
+        if not self._flits:
+            return False
+        if self._link is None:
+            raise RuntimeError(f"{self.name} injects but is not connected")
+        if self._credits <= 0:
+            self.stall_cycles += 1
+            self._flits[0].stall_cycles += 1
+            return False
+        flit = self._flits.popleft()
+        if flit.is_head:
+            flit.packet.wire_entry_cycle = now
+        self._link.send(flit, now)
+        self._credits -= 1
+        self.injected_flits += 1
+        if flit.is_tail:
+            self.injected_packets += 1
+        return True
+
+    def reset_stats(self) -> None:
+        self.offered_packets = 0
+        self.injected_flits = 0
+        self.injected_packets = 0
+        self.stall_cycles = 0
+        self.peak_queue = len(self._flits)
+
+
+class ReassemblyBuffer:
+    """Receive-side NI: collects flits back into packets.
+
+    Completed packets are handed to ``on_packet(packet, now, flits)``.
+    Wormhole switching delivers each packet's flits contiguously and in
+    order on the ejection link, but the buffer tolerates interleaving
+    (it keys partial packets by packet id) so it also works under
+    store-and-forward or multi-link ejection.
+    """
+
+    def __init__(
+        self,
+        node: int,
+        on_packet: Optional[
+            Callable[[Packet, int, List[Flit]], None]
+        ] = None,
+        name: str = "",
+    ) -> None:
+        self.node = node
+        self.name = name or f"rx{node}"
+        self.on_packet = on_packet
+        self._partial: Dict[int, List[Flit]] = {}
+        # Statistics.
+        self.received_flits = 0
+        self.received_packets = 0
+        self.misrouted_flits = 0
+
+    def receive(self, flit: Flit, now: int) -> Optional[Packet]:
+        """Accept one flit; return the packet if this flit completed it."""
+        self.received_flits += 1
+        if flit.dst != self.node:
+            self.misrouted_flits += 1
+            raise RuntimeError(
+                f"{self.name} received flit for node {flit.dst}: the"
+                f" routing tables are inconsistent"
+            )
+        pid = flit.packet.pid
+        flits = self._partial.setdefault(pid, [])
+        flits.append(flit)
+        if len(flits) < flit.packet.length:
+            return None
+        del self._partial[pid]
+        self.received_packets += 1
+        packet = flit.packet
+        if self.on_packet is not None:
+            self.on_packet(packet, now, flits)
+        return packet
+
+    @property
+    def partial_packets(self) -> int:
+        """Packets with some but not all flits received (in flight)."""
+        return len(self._partial)
+
+    def reset_stats(self) -> None:
+        self.received_flits = 0
+        self.received_packets = 0
+        self.misrouted_flits = 0

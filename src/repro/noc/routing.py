@@ -1,0 +1,419 @@
+"""Routing functions.
+
+The emulated switches route per packet: when a HEAD flit reaches the
+head of an input buffer, the switch consults its routing function to
+pick an output port; BODY and TAIL flits follow the wormhole channel the
+head opened.  Routing is table-based in the hardware platform (the
+processor writes the tables through the configuration bus), so the
+primary implementations here are :class:`TableRouting` and its
+multi-path variant, plus builders that fill tables from a topology
+(shortest path, equal-cost multi-path) and the explicit route cases of
+the paper's experimental setup (:func:`paper_routing`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import (
+    AbstractSet,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.noc.flit import Flit
+from repro.noc.topology import (
+    PAPER_FLOWS,
+    Topology,
+    TopologyError,
+    paper_flow_pairs,
+)
+
+
+class RoutingError(RuntimeError):
+    """Raised when no route exists for a (switch, destination) pair."""
+
+
+def _mix(value: int) -> int:
+    """A small integer hash (splitmix-style) for per-packet path choice."""
+    value = (value ^ (value >> 16)) * 0x45D9F3B & 0xFFFFFFFF
+    value = (value ^ (value >> 16)) * 0x45D9F3B & 0xFFFFFFFF
+    return (value ^ (value >> 16)) & 0xFFFFFFFF
+
+
+class RoutingFunction:
+    """Base class: map (switch, head flit) to an output port index."""
+
+    def output_port(self, switch: int, flit: Flit) -> int:
+        raise NotImplementedError
+
+    def ports_for(self, switch: int, dst: int) -> List[int]:
+        """All output ports this function may pick for ``dst`` at ``switch``.
+
+        Used by validation and by the FPGA cost model (routing-table
+        width).  The base implementation reports a single port obtained
+        from a probe flit, which subclasses override when they hold real
+        tables.
+        """
+        raise NotImplementedError
+
+
+class TableRouting(RoutingFunction):
+    """Deterministic table-based routing.
+
+    ``tables[switch][dst_node]`` is the output port index to take at
+    ``switch`` for packets addressed to node ``dst_node``.
+    """
+
+    def __init__(self, tables: Mapping[int, Mapping[int, int]]) -> None:
+        self.tables: Dict[int, Dict[int, int]] = {
+            s: dict(t) for s, t in tables.items()
+        }
+
+    def output_port(self, switch: int, flit: Flit) -> int:
+        try:
+            return self.tables[switch][flit.dst]
+        except KeyError:
+            raise RoutingError(
+                f"no route at switch {switch} for destination node"
+                f" {flit.dst}"
+            ) from None
+
+    def ports_for(self, switch: int, dst: int) -> List[int]:
+        try:
+            return [self.tables[switch][dst]]
+        except KeyError:
+            return []
+
+    def entries(self) -> int:
+        """Total number of table entries (FPGA cost model input)."""
+        return sum(len(t) for t in self.tables.values())
+
+
+class MultiPathTableRouting(RoutingFunction):
+    """Table routing with several candidate ports per destination.
+
+    ``tables[switch][dst_node]`` is a non-empty list of output ports;
+    the port for a given packet is chosen by hashing the packet id, so
+    all flits of one packet take the same path (wormhole-safe) while
+    successive packets of a flow spread over the candidates.  This
+    models the paper's "two routing possibilities" when the candidate
+    lists have length two.
+    """
+
+    def __init__(
+        self,
+        tables: Mapping[int, Mapping[int, Sequence[int]]],
+        salt: int = 0,
+    ) -> None:
+        self.tables: Dict[int, Dict[int, List[int]]] = {}
+        for s, t in tables.items():
+            self.tables[s] = {}
+            for dst, ports in t.items():
+                if not ports:
+                    raise RoutingError(
+                        f"empty candidate port list at switch {s} for"
+                        f" destination {dst}"
+                    )
+                self.tables[s][dst] = list(ports)
+        self.salt = salt
+
+    def output_port(self, switch: int, flit: Flit) -> int:
+        try:
+            ports = self.tables[switch][flit.dst]
+        except KeyError:
+            raise RoutingError(
+                f"no route at switch {switch} for destination node"
+                f" {flit.dst}"
+            ) from None
+        if len(ports) == 1:
+            return ports[0]
+        return ports[_mix(flit.packet.pid + self.salt) % len(ports)]
+
+    def ports_for(self, switch: int, dst: int) -> List[int]:
+        return list(self.tables.get(switch, {}).get(dst, []))
+
+    def entries(self) -> int:
+        return sum(
+            len(ports)
+            for t in self.tables.values()
+            for ports in t.values()
+        )
+
+
+class XYRouting(RoutingFunction):
+    """Dimension-ordered routing for 2D meshes (X first, then Y).
+
+    Deadlock-free on meshes and used as the deterministic baseline in
+    the routing ablation.  Requires the mesh dimensions because switch
+    ids encode grid coordinates as ``id = y * width + x``.
+    """
+
+    def __init__(self, topology: Topology, width: int, height: int) -> None:
+        if width * height != topology.n_switches:
+            raise RoutingError(
+                f"grid {width}x{height} does not match"
+                f" {topology.n_switches} switches"
+            )
+        self.topology = topology
+        self.width = width
+        self.height = height
+
+    def _next_switch(self, switch: int, dst_switch: int) -> int:
+        x, y = switch % self.width, switch // self.width
+        dx, dy = dst_switch % self.width, dst_switch // self.width
+        if x != dx:
+            return y * self.width + (x + 1 if dx > x else x - 1)
+        return (y + 1 if dy > y else y - 1) * self.width + x
+
+    def output_port(self, switch: int, flit: Flit) -> int:
+        dst_switch = self.topology.switch_of_node(flit.dst)
+        if dst_switch == switch:
+            return self.topology.output_port_to_node(switch, flit.dst)
+        nxt = self._next_switch(switch, dst_switch)
+        try:
+            return self.topology.output_port_to_switch(switch, nxt)
+        except TopologyError:
+            raise RoutingError(
+                f"XY routing needs link {switch} -> {nxt}, which the"
+                f" topology lacks"
+            ) from None
+
+    def ports_for(self, switch: int, dst: int) -> List[int]:
+        dst_switch = self.topology.switch_of_node(dst)
+        if dst_switch == switch:
+            return [self.topology.output_port_to_node(switch, dst)]
+        nxt = self._next_switch(switch, dst_switch)
+        try:
+            return [self.topology.output_port_to_switch(switch, nxt)]
+        except TopologyError:
+            return []
+
+
+# ----------------------------------------------------------------------
+# Table builders
+# ----------------------------------------------------------------------
+def _reverse_bfs_distances(
+    topo: Topology,
+    dst_switch: int,
+    avoid_links: Optional[AbstractSet[Tuple[int, int]]] = None,
+) -> List[int]:
+    """Hop distance from every switch to ``dst_switch`` (-1 = unreachable).
+
+    ``avoid_links`` excludes directed switch pairs — the fault-repair
+    path of the platform: when a board link fails, the initialisation
+    step rebuilds the tables around it without re-synthesis.
+    """
+    # Build reverse adjacency once per call; topologies are small.
+    preds: List[List[int]] = [[] for _ in range(topo.n_switches)]
+    for a, b, _delay in topo.switch_edges():
+        if avoid_links and (a, b) in avoid_links:
+            continue
+        preds[b].append(a)
+    dist = [-1] * topo.n_switches
+    dist[dst_switch] = 0
+    frontier = deque([dst_switch])
+    while frontier:
+        s = frontier.popleft()
+        for p in preds[s]:
+            if dist[p] < 0:
+                dist[p] = dist[s] + 1
+                frontier.append(p)
+    return dist
+
+
+def build_shortest_path_tables(
+    topo: Topology,
+    destinations: Optional[Sequence[int]] = None,
+    avoid_links: Optional[AbstractSet[Tuple[int, int]]] = None,
+) -> TableRouting:
+    """Deterministic shortest-path tables for the given destination nodes.
+
+    Ties are broken toward the lowest-indexed output port, which makes
+    the tables reproducible across runs (the platform initialisation
+    step writes them verbatim into the switches).  ``avoid_links``
+    routes around failed or reserved directed links ``(a, b)``.
+    """
+    if destinations is None:
+        destinations = range(topo.n_nodes)
+    avoid = frozenset(avoid_links or ())
+    tables: Dict[int, Dict[int, int]] = {
+        s: {} for s in range(topo.n_switches)
+    }
+    for dst in destinations:
+        dst_switch = topo.switch_of_node(dst)
+        dist = _reverse_bfs_distances(topo, dst_switch, avoid)
+        for s in range(topo.n_switches):
+            if s == dst_switch:
+                tables[s][dst] = topo.output_port_to_node(s, dst)
+                continue
+            if dist[s] < 0:
+                continue  # unreachable: leave no entry, routing will raise
+            best_port = None
+            for port, ep in enumerate(topo.switch_outputs[s]):
+                if ep.kind != "switch":
+                    continue
+                if (s, ep.target) in avoid:
+                    continue
+                if dist[ep.target] == dist[s] - 1:
+                    best_port = port
+                    break
+            if best_port is None:
+                raise RoutingError(
+                    f"inconsistent BFS distances at switch {s} toward"
+                    f" node {dst}"
+                )
+            tables[s][dst] = best_port
+    return TableRouting(tables)
+
+
+def build_multipath_tables(
+    topo: Topology,
+    destinations: Optional[Sequence[int]] = None,
+    max_paths: int = 2,
+    salt: int = 0,
+    avoid_links: Optional[AbstractSet[Tuple[int, int]]] = None,
+) -> MultiPathTableRouting:
+    """Equal-cost multi-path tables: all minimal next hops, truncated.
+
+    With ``max_paths=2`` this realises the paper's "two routing
+    possibilities" on any topology that offers at least two minimal
+    next hops.  ``avoid_links`` routes around failed directed links.
+    """
+    if max_paths < 1:
+        raise RoutingError("max_paths must be >= 1")
+    if destinations is None:
+        destinations = range(topo.n_nodes)
+    avoid = frozenset(avoid_links or ())
+    tables: Dict[int, Dict[int, List[int]]] = {
+        s: {} for s in range(topo.n_switches)
+    }
+    for dst in destinations:
+        dst_switch = topo.switch_of_node(dst)
+        dist = _reverse_bfs_distances(topo, dst_switch, avoid)
+        for s in range(topo.n_switches):
+            if s == dst_switch:
+                tables[s][dst] = [topo.output_port_to_node(s, dst)]
+                continue
+            if dist[s] < 0:
+                continue
+            ports = [
+                port
+                for port, ep in enumerate(topo.switch_outputs[s])
+                if ep.kind == "switch"
+                and (s, ep.target) not in avoid
+                and dist[ep.target] == dist[s] - 1
+            ]
+            if not ports:
+                raise RoutingError(
+                    f"inconsistent BFS distances at switch {s} toward"
+                    f" node {dst}"
+                )
+            tables[s][dst] = ports[:max_paths]
+    return MultiPathTableRouting(tables, salt=salt)
+
+
+def build_tables_from_paths(
+    topo: Topology,
+    paths: Mapping[Tuple[int, int], Sequence[int]],
+) -> TableRouting:
+    """Deterministic tables from explicit switch paths per flow.
+
+    ``paths[(src_node, dst_node)]`` is the switch sequence the flow
+    follows, starting at the source node's switch and ending at the
+    destination node's switch.  Conflicting entries (two flows to the
+    same destination demanding different ports at one switch) raise.
+    """
+    tables: Dict[int, Dict[int, int]] = {}
+    for (src, dst), sw_path in paths.items():
+        if not sw_path:
+            raise RoutingError(f"empty path for flow {src}->{dst}")
+        if sw_path[0] != topo.switch_of_node(src):
+            raise RoutingError(
+                f"path for flow {src}->{dst} starts at switch"
+                f" {sw_path[0]}, but node {src} sits on switch"
+                f" {topo.switch_of_node(src)}"
+            )
+        if sw_path[-1] != topo.switch_of_node(dst):
+            raise RoutingError(
+                f"path for flow {src}->{dst} ends at switch"
+                f" {sw_path[-1]}, but node {dst} sits on switch"
+                f" {topo.switch_of_node(dst)}"
+            )
+        hops = list(zip(sw_path, sw_path[1:]))
+        for a, b in hops:
+            port = topo.output_port_to_switch(a, b)
+            existing = tables.setdefault(a, {}).get(dst)
+            if existing is not None and existing != port:
+                raise RoutingError(
+                    f"conflicting routes at switch {a} for destination"
+                    f" {dst}: ports {existing} and {port}"
+                )
+            tables[a][dst] = port
+        last = sw_path[-1]
+        tables.setdefault(last, {})[dst] = topo.output_port_to_node(
+            last, dst
+        )
+    return TableRouting(tables)
+
+
+# ----------------------------------------------------------------------
+# The paper's route cases (Slide 19)
+# ----------------------------------------------------------------------
+#: Switch paths of the *overlapping* case: all four diagonal flows
+#: funnel through the middle column, so links 1->4 and 4->1 each carry
+#: two 45% flows = 90% load.
+_PAPER_PATHS_OVERLAP: Dict[Tuple[int, int], Tuple[int, ...]] = {
+    (0, 7): (0, 1, 4, 5),
+    (1, 6): (2, 1, 4, 3),
+    (2, 5): (3, 4, 1, 2),
+    (3, 4): (5, 4, 1, 0),
+}
+
+#: Switch paths of the *disjoint* case (dimension-ordered, X first):
+#: no link carries more than one flow, so the maximum link load is 45%.
+_PAPER_PATHS_DISJOINT: Dict[Tuple[int, int], Tuple[int, ...]] = {
+    (0, 7): (0, 1, 2, 5),
+    (1, 6): (2, 1, 0, 3),
+    (2, 5): (3, 4, 5, 2),
+    (3, 4): (5, 4, 3, 0),
+}
+
+
+def paper_routing(topo: Topology, case: str = "overlap") -> RoutingFunction:
+    """Routing tables for the paper's experimental setup.
+
+    ``case`` selects among the two routing possibilities of each flow:
+
+    ``"overlap"``
+        All flows share the middle-column links (the 90%-load case the
+        congestion and latency figures are measured in).
+    ``"disjoint"``
+        Dimension-ordered routes; no shared links (the uncongested
+        reference case).
+    ``"split"``
+        A multi-path table holding *both* possibilities; each packet
+        picks one by id hash, halving the load on the shared links.
+    """
+    if case == "overlap":
+        return build_tables_from_paths(topo, _PAPER_PATHS_OVERLAP)
+    if case == "disjoint":
+        return build_tables_from_paths(topo, _PAPER_PATHS_DISJOINT)
+    if case == "split":
+        overlap = build_tables_from_paths(topo, _PAPER_PATHS_OVERLAP)
+        disjoint = build_tables_from_paths(topo, _PAPER_PATHS_DISJOINT)
+        merged: Dict[int, Dict[int, List[int]]] = {}
+        for table in (overlap, disjoint):
+            for s, entries in table.tables.items():
+                for dst, port in entries.items():
+                    ports = merged.setdefault(s, {}).setdefault(dst, [])
+                    if port not in ports:
+                        ports.append(port)
+        return MultiPathTableRouting(merged)
+    raise RoutingError(
+        f"unknown paper routing case {case!r}; expected 'overlap',"
+        f" 'disjoint' or 'split'"
+    )

@@ -1,0 +1,327 @@
+"""The parameterisable switch.
+
+The hardware platform emulates "any NoC packet-switching
+intercommunication scheme" by instantiating a network of switches whose
+three parameters the paper calls out on Slide 6: **number of inputs**,
+**number of outputs** and **size of buffers**.  This module models one
+such switch at cycle granularity:
+
+* one bounded flit FIFO per input port (input-buffered switch),
+* per-output arbitration (round-robin by default),
+* credit-based flow control toward each downstream buffer,
+* wormhole switching (a HEAD flit locks an output port for its packet
+  until the TAIL passes) or store-and-forward switching (a packet only
+  moves once fully buffered) for the switching-mode ablation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.noc.arbiter import Arbiter, make_arbiter
+from repro.noc.buffer import FlitBuffer
+from repro.noc.flit import Flit
+from repro.noc.routing import RoutingFunction
+
+
+class SwitchingMode(enum.Enum):
+    """Packet-switching discipline of the emulated switch."""
+
+    WORMHOLE = "wormhole"
+    STORE_AND_FORWARD = "store_and_forward"
+
+
+@dataclass
+class SwitchConfig:
+    """Parameters of one switch (the Slide 6 parameter set).
+
+    ``buffer_depth`` is the per-input FIFO capacity in flits.
+    ``arbitration`` names a policy understood by
+    :func:`repro.noc.arbiter.make_arbiter`.
+    """
+
+    n_inputs: int
+    n_outputs: int
+    buffer_depth: int = 4
+    arbitration: str = "round_robin"
+    mode: SwitchingMode = SwitchingMode.WORMHOLE
+
+    def __post_init__(self) -> None:
+        if self.n_inputs < 1:
+            raise ValueError("switch needs >= 1 input port")
+        if self.n_outputs < 1:
+            raise ValueError("switch needs >= 1 output port")
+        if self.buffer_depth < 1:
+            raise ValueError("buffer depth must be >= 1 flit")
+        if isinstance(self.mode, str):
+            self.mode = SwitchingMode(self.mode)
+
+
+@dataclass
+class _OutputPort:
+    """Book-keeping for one output port, wired up by the network."""
+
+    send: Callable[[Flit, int], None]
+    credits: int  # remaining downstream buffer slots (None -> infinite)
+    infinite_credits: bool = False
+    lock: Optional[int] = None  # input index holding the wormhole channel
+    flits_sent: int = 0
+
+
+class Switch:
+    """One input-buffered switch of the emulation platform.
+
+    The network drives the switch with :meth:`receive` (flit arrival
+    from a link or a network interface), :meth:`credit` (flow-control
+    credit returned by a downstream buffer) and :meth:`traverse` (one
+    cycle of arbitration and flit movement).
+    """
+
+    def __init__(
+        self,
+        switch_id: int,
+        config: SwitchConfig,
+        routing: RoutingFunction,
+    ) -> None:
+        self.switch_id = switch_id
+        self.config = config
+        self.routing = routing
+        self.inputs: List[FlitBuffer] = [
+            FlitBuffer(config.buffer_depth, name=f"sw{switch_id}.in{i}")
+            for i in range(config.n_inputs)
+        ]
+        self.arbiters: List[Arbiter] = [
+            make_arbiter(config.arbitration, config.n_inputs)
+            for _ in range(config.n_outputs)
+        ]
+        self._outputs: List[Optional[_OutputPort]] = [
+            None
+        ] * config.n_outputs
+        # Called with the current cycle whenever a flit is popped from
+        # the corresponding input buffer, so the network can return a
+        # flow-control credit to whoever feeds that buffer.
+        self._input_pop_hooks: List[Optional[Callable[[int], None]]] = [
+            None
+        ] * config.n_inputs
+        # Cached route of the packet currently at the head of each input
+        # (set when its HEAD flit is routed, cleared when TAIL leaves).
+        self._input_route: List[Optional[int]] = [None] * config.n_inputs
+        # Statistics.
+        self.flits_forwarded = 0
+        self.blocked_flit_cycles = 0  # head flit wanted to move, couldn't
+        self.credit_stall_cycles = 0  # subset blocked purely on credits
+
+    # ------------------------------------------------------------------
+    # Wiring (done once by the network)
+    # ------------------------------------------------------------------
+    def connect_output(
+        self,
+        port: int,
+        send: Callable[[Flit, int], None],
+        credits: Optional[int],
+    ) -> None:
+        """Attach output ``port`` to a sink.
+
+        ``credits`` is the downstream buffer capacity, or ``None`` for a
+        sink that always accepts (a traffic receptor consuming one flit
+        per cycle never backpressures the switch).
+        """
+        if self._outputs[port] is not None:
+            raise RuntimeError(
+                f"output port {port} of switch {self.switch_id} is"
+                f" already connected"
+            )
+        infinite = credits is None
+        self._outputs[port] = _OutputPort(
+            send=send,
+            credits=0 if infinite else credits,
+            infinite_credits=infinite,
+        )
+
+    def connect_input_hook(
+        self, port: int, hook: Callable[[int], None]
+    ) -> None:
+        """Register the credit-return hook for input ``port``."""
+        if self._input_pop_hooks[port] is not None:
+            raise RuntimeError(
+                f"input port {port} of switch {self.switch_id} already"
+                f" has a credit hook"
+            )
+        self._input_pop_hooks[port] = hook
+
+    def check_wired(self) -> None:
+        for port, out in enumerate(self._outputs):
+            if out is None:
+                raise RuntimeError(
+                    f"output port {port} of switch {self.switch_id} is"
+                    f" not connected"
+                )
+
+    # ------------------------------------------------------------------
+    # Per-cycle interface
+    # ------------------------------------------------------------------
+    def receive(self, port: int, flit: Flit) -> None:
+        """A flit arrives on input ``port`` (from a link or an NI)."""
+        self.inputs[port].push(flit)
+
+    def credit(self, port: int, count: int = 1) -> None:
+        """Downstream freed ``count`` buffer slots behind output ``port``."""
+        out = self._outputs[port]
+        assert out is not None
+        if not out.infinite_credits:
+            out.credits += count
+
+    def _desired_output(self, input_port: int) -> Optional[int]:
+        """Output the head flit of ``input_port`` wants, or None to wait.
+
+        Routes HEAD flits through the routing function and caches the
+        result so the packet's body follows the same channel.  Under
+        store-and-forward, a packet only requests an output once all of
+        its flits sit in the buffer.
+        """
+        buf = self.inputs[input_port]
+        fifo = buf._fifo
+        if not fifo:
+            return None
+        head = fifo[0]
+        cached = self._input_route[input_port]
+        if cached is not None:
+            # Mid-packet: follow the channel the HEAD flit opened.
+            return cached
+        # Only HEAD flits may be unrouted; a BODY flit at the head of a
+        # buffer with no cached route indicates a protocol bug.
+        if not head.is_head:
+            raise RuntimeError(
+                f"non-head flit {head!r} at head of"
+                f" sw{self.switch_id}.in{input_port} without a route"
+            )
+        if self.config.mode is SwitchingMode.STORE_AND_FORWARD:
+            length = head.packet.length
+            if length > buf.capacity:
+                raise RuntimeError(
+                    f"store-and-forward switch {self.switch_id} has"
+                    f" {buf.capacity}-flit buffers but received a"
+                    f" {length}-flit packet"
+                )
+            buffered = sum(
+                1 for f in buf if f.packet.pid == head.packet.pid
+            )
+            if buffered < length:
+                return None  # wait for the full packet
+        route = self.routing.output_port(self.switch_id, head)
+        self._input_route[input_port] = route
+        return route
+
+    def traverse(self, now: int) -> int:
+        """One cycle of arbitration and switch traversal.
+
+        Returns the number of flits forwarded this cycle.  At most one
+        flit leaves per output port and at most one flit leaves per
+        input port.
+        """
+        inputs = self.inputs
+        # Fast idle path: nothing buffered, nothing to do.
+        for buf in inputs:
+            if buf._fifo:
+                break
+        else:
+            return 0
+        requests: Dict[int, List[int]] = {}
+        blocked_heads: List[Flit] = []
+        for i, buf in enumerate(inputs):
+            if not buf._fifo:
+                continue
+            desired = self._desired_output(i)
+            if desired is None:
+                continue
+            out = self._outputs[desired]
+            assert out is not None
+            head = buf._fifo[0]
+            if out.lock is not None and out.lock != i:
+                # Channel held by another packet's wormhole.
+                blocked_heads.append(head)
+                continue
+            if not out.infinite_credits and out.credits <= 0:
+                blocked_heads.append(head)
+                self.credit_stall_cycles += 1
+                continue
+            if desired in requests:
+                requests[desired].append(i)
+            else:
+                requests[desired] = [i]
+
+        moved = 0
+        for port, reqs in requests.items():
+            out = self._outputs[port]
+            assert out is not None
+            if out.lock is not None:
+                # The locked input has exclusive use of this channel.
+                winner = out.lock
+            else:
+                granted = self.arbiters[port].grant(reqs)
+                assert granted is not None
+                winner = granted
+            flit = self.inputs[winner].pop()
+            hook = self._input_pop_hooks[winner]
+            if hook is not None:
+                hook(now)
+            out.send(flit, now)
+            out.flits_sent += 1
+            if not out.infinite_credits:
+                out.credits -= 1
+            moved += 1
+            # Wormhole channel state.
+            if flit.is_tail:
+                out.lock = None
+                self._input_route[winner] = None
+            elif flit.is_head:
+                out.lock = winner
+            # Losers of this arbitration stalled.
+            for loser in reqs:
+                if loser != winner:
+                    head = self.inputs[loser].head()
+                    if head is not None:
+                        blocked_heads.append(head)
+
+        for head in blocked_heads:
+            head.stall_cycles += 1
+        self.blocked_flit_cycles += len(blocked_heads)
+        self.flits_forwarded += moved
+        return moved
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def sample_buffers(self) -> None:
+        """Record one cycle of buffer occupancy on every input FIFO."""
+        for buf in self.inputs:
+            buf.sample()
+
+    @property
+    def buffered_flits(self) -> int:
+        """Flits currently sitting in this switch's input buffers."""
+        return sum(len(buf) for buf in self.inputs)
+
+    def output_credits(self, port: int) -> Optional[int]:
+        """Remaining credits of output ``port`` (None = infinite)."""
+        out = self._outputs[port]
+        assert out is not None
+        return None if out.infinite_credits else out.credits
+
+    def reset_stats(self) -> None:
+        self.flits_forwarded = 0
+        self.blocked_flit_cycles = 0
+        self.credit_stall_cycles = 0
+        for buf in self.inputs:
+            buf.reset_stats()
+        for arb in self.arbiters:
+            arb.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Switch({self.switch_id}, in={self.config.n_inputs},"
+            f" out={self.config.n_outputs},"
+            f" depth={self.config.buffer_depth})"
+        )

@@ -1,0 +1,20 @@
+"""Traffic receptors.
+
+Slide 11 of the paper: "Stochastic receptors: Histograms, which show an
+image of the received traffic. Total running time.  Trace driven
+receptors: Latency analyzer. Congestion counter."  A receptor is the
+device attached to the receive side of a network interface; it consumes
+reassembled packets and maintains the statistics the monitor reads out.
+"""
+
+from repro.receptors.base import TrafficReceptor
+from repro.receptors.histogram import Histogram
+from repro.receptors.stochastic import StochasticReceptor
+from repro.receptors.tracedriven import TraceDrivenReceptor
+
+__all__ = [
+    "Histogram",
+    "StochasticReceptor",
+    "TraceDrivenReceptor",
+    "TrafficReceptor",
+]

@@ -1,0 +1,83 @@
+"""The stochastic receptor.
+
+Slide 11: "Stochastic receptors: Histograms, which show an image of the
+received traffic. Total running time."  The device keeps three counter
+histograms — packet length, inter-arrival gap and source node — plus
+the running-time register inherited from the base class.  Together they
+are the "image of the received traffic" the monitor renders.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.noc.flit import Flit, Packet
+from repro.receptors.base import TrafficReceptor
+from repro.receptors.histogram import Histogram
+
+
+class StochasticReceptor(TrafficReceptor):
+    """Histogram-based receptor for stochastic traffic experiments.
+
+    Parameters
+    ----------
+    node:
+        Node index the receptor sits on.
+    length_bins, length_bin_width:
+        Geometry of the packet-length histogram.
+    gap_bins, gap_bin_width:
+        Geometry of the inter-arrival-gap histogram (gap between
+        consecutive packet completions at this receptor).
+    n_sources:
+        Number of nodes in the platform, sizing the per-source packet
+        counter bank (one counter per possible source).
+    """
+
+    def __init__(
+        self,
+        node: int,
+        length_bins: int = 16,
+        length_bin_width: int = 2,
+        gap_bins: int = 32,
+        gap_bin_width: int = 4,
+        n_sources: int = 16,
+        name: str = "",
+    ) -> None:
+        super().__init__(node, name)
+        self.length_histogram = Histogram(
+            length_bins, length_bin_width, origin=1
+        )
+        self.gap_histogram = Histogram(gap_bins, gap_bin_width, origin=0)
+        self.source_histogram = Histogram(n_sources, 1, origin=0)
+        self._previous_arrival: Optional[int] = None
+
+    def _record(self, packet: Packet, now: int, flits: List[Flit]) -> None:
+        self.length_histogram.add(packet.length)
+        self.source_histogram.add(packet.src)
+        if self._previous_arrival is not None:
+            self.gap_histogram.add(now - self._previous_arrival)
+        self._previous_arrival = now
+
+    # ------------------------------------------------------------------
+    # Monitor-facing report
+    # ------------------------------------------------------------------
+    def report(self) -> str:
+        """The textual image of the received traffic."""
+        parts = [
+            f"stochastic receptor {self.name} (node {self.node})",
+            f"  packets received : {self.packets_received}",
+            f"  flits received   : {self.flits_received}",
+            f"  running time     : {self.running_time} cycles",
+            f"  throughput       : {self.throughput():.4f} flits/cycle",
+            self.length_histogram.render(title="  packet length:"),
+            self.gap_histogram.render(title="  inter-arrival gap:"),
+            self.source_histogram.render(title="  source node:"),
+        ]
+        return "\n".join(parts)
+
+    def reset(self) -> None:
+        super().reset()
+        self.length_histogram.reset()
+        self.gap_histogram.reset()
+        self.source_histogram.reset()
+        self._previous_arrival = None

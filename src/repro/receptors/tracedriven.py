@@ -1,0 +1,67 @@
+"""The trace-driven receptor.
+
+Slide 11: "Trace driven receptors: Latency analyzer. Congestion
+counter."  The device combines the two analyzers of ``repro.stats``
+behind the common receptor interface; the latency and congestion
+figures of the paper (Slides 21-22) are read out of these objects.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.noc.flit import Flit, Packet
+from repro.receptors.base import TrafficReceptor
+from repro.stats.congestion import CongestionCounter
+from repro.stats.latency import LatencyAnalyzer
+
+
+class TraceDrivenReceptor(TrafficReceptor):
+    """Receptor with a latency analyzer and a congestion counter.
+
+    Parameters
+    ----------
+    node:
+        Node index the receptor sits on.
+    latency_bins, latency_bin_width:
+        Geometry of the latency histogram (FPGA cost model input).
+    """
+
+    def __init__(
+        self,
+        node: int,
+        latency_bins: int = 64,
+        latency_bin_width: int = 8,
+        name: str = "",
+    ) -> None:
+        super().__init__(node, name)
+        self.latency = LatencyAnalyzer(latency_bins, latency_bin_width)
+        self.congestion = CongestionCounter()
+
+    def _record(self, packet: Packet, now: int, flits: List[Flit]) -> None:
+        self.latency.record(packet, now)
+        self.congestion.record(packet, flits)
+
+    # ------------------------------------------------------------------
+    # Monitor-facing report
+    # ------------------------------------------------------------------
+    def report(self) -> str:
+        lat = self.latency
+        con = self.congestion
+        parts = [
+            f"trace-driven receptor {self.name} (node {self.node})",
+            f"  packets received    : {self.packets_received}",
+            f"  running time        : {self.running_time} cycles",
+            f"  latency min/avg/max : {lat.min_latency}/"
+            f"{lat.mean_latency:.1f}/{lat.max_latency} cycles",
+            f"  latency p95         : {lat.quantile(0.95)} cycles",
+            f"  stall cycles total  : {con.total_stall_cycles}",
+            f"  stall per packet    : {con.mean_stall_per_packet:.2f}",
+            f"  congested packets   : {con.congested_fraction:.1%}",
+        ]
+        return "\n".join(parts)
+
+    def reset(self) -> None:
+        super().reset()
+        self.latency.reset()
+        self.congestion.reset()

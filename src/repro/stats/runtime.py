@@ -1,0 +1,165 @@
+"""Run-time and speed modelling (Slides 18 and 20).
+
+Slide 18 compares three ways of evaluating the same NoC for the same
+workload, by *simulator speed in emulated cycles per wall-clock second*:
+
+==================  ==============  =========================
+mode                speed           source
+==================  ==============  =========================
+FPGA emulation      50,000,000/s    the platform's 50 MHz clock
+SystemC (MPARM)     20,000/s        cycle-accurate simulation
+Verilog (ModelSim)  3,200/s         RTL event-driven simulation
+==================  ==============  =========================
+
+:class:`RunTimeModel` converts a cycle count into wall-clock seconds at
+a given speed, and :class:`SpeedReport` renders the paper's table rows
+(time for 16 M and 1000 M packets) for any set of modes — including the
+*measured* speeds of this package's own Python engines, which reproduce
+the ordering emulation ≫ cycle-accurate ≫ RTL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: The paper's reported speeds in emulated cycles per second.
+PAPER_SPEEDS = {
+    "Our Emulation": 50_000_000.0,
+    "SystemC (MPARM)": 20_000.0,
+    "Verilog (ModelSim)": 3_200.0,
+}
+
+#: The two workload sizes of the Slide 18 table.
+PAPER_WORKLOADS_MPACKETS = (16, 1000)
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration the way the paper's table does.
+
+    Examples: ``3.2 sec``, ``3'20''``, ``2h13'``, ``13h53'``,
+    ``5 days 19h``.
+    """
+    if seconds < 0:
+        raise ValueError(f"duration must be >= 0, got {seconds}")
+    if seconds < 60:
+        return f"{seconds:.1f} sec"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}'{secs:02d}''"
+    hours, minutes = divmod(minutes, 60)
+    if hours < 24:
+        return f"{hours}h{minutes:02d}'"
+    days, hours = divmod(hours, 24)
+    return f"{days} days {hours}h"
+
+
+@dataclass
+class RunTimeModel:
+    """Converts emulated cycles to wall-clock time at a given speed.
+
+    ``cycles_per_packet`` calibrates how many network cycles one packet
+    costs for a concrete platform and traffic setup; the platform
+    measures it from a short run (total cycles / packets completed).
+    """
+
+    speed_cycles_per_sec: float
+    cycles_per_packet: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.speed_cycles_per_sec <= 0:
+            raise ValueError("speed must be positive")
+        if self.cycles_per_packet <= 0:
+            raise ValueError("cycles per packet must be positive")
+
+    def seconds_for_cycles(self, cycles: float) -> float:
+        return cycles / self.speed_cycles_per_sec
+
+    def seconds_for_packets(self, packets: float) -> float:
+        return self.seconds_for_cycles(packets * self.cycles_per_packet)
+
+    def format_for_packets(self, packets: float) -> str:
+        return format_duration(self.seconds_for_packets(packets))
+
+
+class SpeedReport:
+    """The Slide 18 speed-comparison table.
+
+    Rows are simulation modes with a speed in cycles/s; columns are
+    workload sizes in packets.  ``cycles_per_packet`` is shared by all
+    modes because every mode runs the *same* emulated workload.
+    """
+
+    def __init__(self, cycles_per_packet: float) -> None:
+        if cycles_per_packet <= 0:
+            raise ValueError("cycles per packet must be positive")
+        self.cycles_per_packet = cycles_per_packet
+        self._modes: List[Tuple[str, float, bool]] = []
+
+    def add_mode(
+        self, name: str, speed_cycles_per_sec: float, measured: bool = False
+    ) -> None:
+        """Add a row; ``measured`` marks speeds we timed ourselves."""
+        if speed_cycles_per_sec <= 0:
+            raise ValueError(f"speed for {name!r} must be positive")
+        self._modes.append((name, speed_cycles_per_sec, measured))
+
+    def add_paper_modes(self) -> None:
+        """Add the three rows of the paper's table, fastest first."""
+        for name, speed in PAPER_SPEEDS.items():
+            self.add_mode(name, speed)
+
+    @property
+    def modes(self) -> List[Tuple[str, float, bool]]:
+        return list(self._modes)
+
+    def speedup(self, fast: str, slow: str) -> float:
+        """Speed ratio between two modes (the 4-orders-of-magnitude claim)."""
+        speeds = {name: speed for name, speed, _ in self._modes}
+        try:
+            return speeds[fast] / speeds[slow]
+        except KeyError as missing:
+            raise KeyError(f"unknown mode {missing}") from None
+
+    def rows(
+        self, workloads_mpackets: Sequence[int] = PAPER_WORKLOADS_MPACKETS
+    ) -> List[Dict[str, str]]:
+        """One dict per mode with formatted times per workload."""
+        table: List[Dict[str, str]] = []
+        for name, speed, measured in self._modes:
+            model = RunTimeModel(speed, self.cycles_per_packet)
+            row = {
+                "mode": name + (" [measured]" if measured else ""),
+                "speed": f"{speed:,.0f}",
+            }
+            for mp in workloads_mpackets:
+                row[f"{mp}Mpackets"] = model.format_for_packets(mp * 1e6)
+            table.append(row)
+        return table
+
+    def render(
+        self, workloads_mpackets: Sequence[int] = PAPER_WORKLOADS_MPACKETS
+    ) -> str:
+        """Plain-text table in the layout of the paper's Slide 18."""
+        rows = self.rows(workloads_mpackets)
+        headers = ["Simulation mode", "Speed (cycles/sec)"] + [
+            f"Time for {mp} Mpackets" for mp in workloads_mpackets
+        ]
+        cells = [
+            [row["mode"], row["speed"]]
+            + [row[f"{mp}Mpackets"] for mp in workloads_mpackets]
+            for row in rows
+        ]
+        widths = [
+            max(len(headers[c]), *(len(r[c]) for r in cells))
+            if cells
+            else len(headers[c])
+            for c in range(len(headers))
+        ]
+        lines = [
+            "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for r in cells:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+        return "\n".join(lines)

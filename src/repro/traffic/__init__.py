@@ -1,0 +1,57 @@
+"""Traffic generation substrate.
+
+Implements the traffic-generator family of the paper (Slides 9-10):
+stochastic models — **uniform** (packet length + inter-packet interval),
+**burst** (2-state Markov chain) and **Poisson** ("other models
+possible") — plus **trace-driven** generators replaying recorded
+traces.  Each generator is parameterised through a bank of registers
+("a bench of registers for traffic parameterization [and] random
+initialization") and feeds a network interface.
+"""
+
+from repro.traffic.base import (
+    DestinationChooser,
+    FixedDestination,
+    HotspotDestination,
+    TrafficModel,
+    UniformRandomDestination,
+    interval_for_load,
+)
+from repro.traffic.burst import BurstTraffic
+from repro.traffic.generator import TrafficGenerator
+from repro.traffic.onoff import OnOffTraffic
+from repro.traffic.poisson import PoissonTraffic
+from repro.traffic.rng import Lfsr32, LfsrRandom
+from repro.traffic.trace import (
+    Trace,
+    TraceRecord,
+    TraceTraffic,
+    load_trace,
+    save_trace,
+    synthetic_burst_trace,
+    synthetic_mpeg_trace,
+)
+from repro.traffic.uniform import UniformTraffic
+
+__all__ = [
+    "BurstTraffic",
+    "DestinationChooser",
+    "FixedDestination",
+    "HotspotDestination",
+    "Lfsr32",
+    "LfsrRandom",
+    "OnOffTraffic",
+    "PoissonTraffic",
+    "Trace",
+    "TraceRecord",
+    "TraceTraffic",
+    "TrafficGenerator",
+    "TrafficModel",
+    "UniformRandomDestination",
+    "UniformTraffic",
+    "interval_for_load",
+    "load_trace",
+    "save_trace",
+    "synthetic_burst_trace",
+    "synthetic_mpeg_trace",
+]

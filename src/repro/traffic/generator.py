@@ -1,0 +1,142 @@
+"""The traffic-generator device.
+
+Slide 10 gives the TG structure: a bench of registers (parameterisation
+and random initialisation), a packet generator producing the traffic
+pattern, and a network interface converting packets into flits.  This
+class is the packet-generator stage: it polls a
+:class:`~repro.traffic.base.TrafficModel` once per cycle, stamps
+emissions into :class:`~repro.noc.flit.Packet` objects and offers them
+to the node's network interface.  The register bench lives in
+``repro.core.devices``, which wraps this object behind the platform's
+memory-mapped configuration interface.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.noc.flit import Packet
+from repro.noc.ni import NetworkInterface
+from repro.traffic.base import TrafficModel
+from repro.traffic.trace import Trace, TraceRecord
+
+
+class TrafficGenerator:
+    """Drives one network interface from a traffic model.
+
+    Parameters
+    ----------
+    node:
+        Source node index (stamped as ``packet.src``).
+    model:
+        The traffic process to poll.
+    ni:
+        Transmit-side network interface of the node.
+    max_packets:
+        Stop after this many packets (None = unlimited); the emulation
+        software uses this to run "N sent packets" experiments.
+    queue_limit:
+        Maximum flits allowed in the NI source queue before the
+        generator stalls, modelling the finite TG-to-NI FIFO of the
+        hardware.  Finite queues are what make the average latency
+        saturate at high congestion (Slide 22) instead of growing
+        without bound.
+    record:
+        When True, every emission is also recorded so the run can be
+        saved as a trace (:meth:`recorded_trace`).
+    """
+
+    def __init__(
+        self,
+        node: int,
+        model: TrafficModel,
+        ni: NetworkInterface,
+        max_packets: Optional[int] = None,
+        queue_limit: int = 64,
+        record: bool = False,
+    ) -> None:
+        if max_packets is not None and max_packets < 0:
+            raise ValueError(
+                f"max_packets must be >= 0 or None, got {max_packets}"
+            )
+        if queue_limit < 1:
+            raise ValueError(
+                f"queue limit must be >= 1 flit, got {queue_limit}"
+            )
+        self.node = node
+        self.model = model
+        self.ni = ni
+        self.max_packets = max_packets
+        self.queue_limit = queue_limit
+        self.enabled = True
+        # Statistics.
+        self.packets_sent = 0
+        self.flits_sent = 0
+        self.backpressure_cycles = 0
+        self._records: Optional[List[TraceRecord]] = [] if record else None
+
+    # ------------------------------------------------------------------
+    # Control (driven by the platform's TG device registers)
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self, seed: Optional[int] = None) -> None:
+        """Rewind the model and clear the run counters."""
+        self.model.reset(seed)
+        self.packets_sent = 0
+        self.flits_sent = 0
+        self.backpressure_cycles = 0
+        if self._records is not None:
+            self._records = []
+
+    @property
+    def done(self) -> bool:
+        """True once the packet budget is exhausted."""
+        if self.max_packets is None:
+            return False
+        return self.packets_sent >= self.max_packets
+
+    # ------------------------------------------------------------------
+    # Per-cycle interface
+    # ------------------------------------------------------------------
+    def step(self, now: int) -> Optional[Packet]:
+        """Poll the model for cycle ``now``; return the emitted packet."""
+        if not self.enabled or self.done:
+            return None
+        if self.ni.pending_flits >= self.queue_limit:
+            self.backpressure_cycles += 1
+            return None
+        emission = self.model.poll(now)
+        if emission is None:
+            return None
+        length, dst, burst_id = emission
+        packet = Packet(
+            src=self.node,
+            dst=dst,
+            length=length,
+            injection_cycle=now,
+            burst_id=burst_id,
+        )
+        self.ni.offer(packet)
+        self.packets_sent += 1
+        self.flits_sent += length
+        if self._records is not None:
+            self._records.append(TraceRecord(now, dst, length, burst_id))
+        return packet
+
+    # ------------------------------------------------------------------
+    # Trace recording
+    # ------------------------------------------------------------------
+    def recorded_trace(self, name: Optional[str] = None) -> Trace:
+        """The emissions of this run as a replayable trace."""
+        if self._records is None:
+            raise RuntimeError(
+                "generator was constructed with record=False"
+            )
+        return Trace(
+            list(self._records), name=name or f"tg{self.node}_recorded"
+        )

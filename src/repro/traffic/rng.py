@@ -1,0 +1,135 @@
+"""Hardware-faithful pseudo-random number generation.
+
+The FPGA traffic generators draw their randomness from linear-feedback
+shift registers seeded through the "random initialization" registers of
+the TG register bench (Slide 10).  This module reproduces that
+behaviour: :class:`Lfsr32` is a maximal-length 32-bit Galois LFSR, and
+:class:`LfsrRandom` layers the distributions the stochastic traffic
+models need (uniform integers, Bernoulli trials, geometric and
+exponential variates) on top of it.
+
+Using an LFSR instead of Python's Mersenne Twister keeps the software
+emulation bit-compatible with what a hardware TG would produce from the
+same seed, and makes every experiment reproducible from the seed
+registers alone.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Taps x^32 + x^22 + x^2 + x^1 + 1 (maximal length, period 2^32 - 1).
+_GALOIS_MASK_32 = 0x80200003
+
+
+class Lfsr32:
+    """A 32-bit maximal-length Galois LFSR.
+
+    The register must never be zero (the all-zero state is the single
+    fixed point of an LFSR), so a zero seed is mapped to a fixed
+    non-zero constant exactly as the hardware seed-load logic would.
+    """
+
+    def __init__(self, seed: int = 0xDEADBEEF) -> None:
+        self.reseed(seed)
+
+    def reseed(self, seed: int) -> None:
+        seed &= 0xFFFFFFFF
+        self.state = seed if seed else 0x1B00B1E5
+
+    def next_bit(self) -> int:
+        """Advance one step; return the output bit."""
+        out = self.state & 1
+        self.state >>= 1
+        if out:
+            self.state ^= _GALOIS_MASK_32
+        return out
+
+    def next_bits(self, n: int) -> int:
+        """Shift out ``n`` bits (LSB first) as an ``n``-bit integer."""
+        if not 0 < n <= 64:
+            raise ValueError(f"bit count must be in [1, 64], got {n}")
+        value = 0
+        for i in range(n):
+            value |= self.next_bit() << i
+        return value
+
+    def next_word(self) -> int:
+        """A full 32-bit pseudo-random word."""
+        return self.next_bits(32)
+
+
+class LfsrRandom:
+    """Distribution sampling on top of an :class:`Lfsr32`.
+
+    All methods consume a bounded number of LFSR bits, mirroring how a
+    hardware TG converts shift-register output into traffic parameters.
+    """
+
+    def __init__(self, seed: int = 0xDEADBEEF) -> None:
+        self._lfsr = Lfsr32(seed)
+
+    def reseed(self, seed: int) -> None:
+        self._lfsr.reseed(seed)
+
+    @property
+    def state(self) -> int:
+        return self._lfsr.state
+
+    def random(self) -> float:
+        """Uniform float in [0, 1) with 32-bit resolution."""
+        return self._lfsr.next_word() / 4294967296.0
+
+    def uniform_int(self, lo: int, hi: int) -> int:
+        """Uniform integer in the inclusive range [lo, hi].
+
+        Uses rejection sampling over the smallest covering power of
+        two, so the distribution is exactly uniform (no modulo bias).
+        """
+        if lo > hi:
+            raise ValueError(f"empty range [{lo}, {hi}]")
+        span = hi - lo + 1
+        if span == 1:
+            return lo
+        bits = max(1, (span - 1).bit_length())
+        while True:
+            draw = self._lfsr.next_bits(bits)
+            if draw < span:
+                return lo + draw
+
+    def bernoulli(self, p: float) -> bool:
+        """True with probability ``p`` (used for Markov transitions)."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {p}")
+        if p == 0.0:
+            return False
+        if p == 1.0:
+            return True
+        return self.random() < p
+
+    def geometric(self, p: float) -> int:
+        """Number of Bernoulli(p) trials up to and including first success.
+
+        Sampled by inversion (single uniform draw), support {1, 2, ...}.
+        """
+        if not 0.0 < p <= 1.0:
+            raise ValueError(f"probability must be in (0, 1], got {p}")
+        if p == 1.0:
+            return 1
+        u = self.random()
+        # Guard u == 0, where log would diverge.
+        u = max(u, 2.0 ** -33)
+        return 1 + int(math.log(u) / math.log(1.0 - p))
+
+    def expovariate(self, rate: float) -> float:
+        """Exponential variate with the given rate (mean ``1/rate``)."""
+        if rate <= 0.0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        u = max(self.random(), 2.0 ** -33)
+        return -math.log(u) / rate
+
+    def choice(self, seq):
+        """Uniformly pick one element of a non-empty sequence."""
+        if not seq:
+            raise ValueError("cannot choose from an empty sequence")
+        return seq[self.uniform_int(0, len(seq) - 1)]

@@ -1,0 +1,126 @@
+"""Unit tests for the event-driven simulation kernel."""
+
+import pytest
+
+from repro.baselines.eventsim import (
+    EventSimulator,
+    SimulationError,
+    Signal,
+)
+
+
+class TestSignals:
+    def test_nonblocking_assignment(self):
+        sim = EventSimulator()
+        s = sim.signal("s", 0)
+        sim.touch(s, 5)
+        assert s.value == 0  # not yet committed
+        sim.settle()
+        assert s.value == 5
+
+    def test_no_event_on_same_value(self):
+        sim = EventSimulator()
+        s = sim.signal("s", 3)
+        sim.touch(s, 3)
+        sim.settle()
+        assert s.events == 0
+
+    def test_event_counter(self):
+        sim = EventSimulator()
+        s = sim.signal("s", 0)
+        for v in (1, 2, 3):
+            sim.touch(s, v)
+            sim.settle()
+        assert s.events == 3
+        assert sim.total_events == 3
+
+
+class TestProcesses:
+    def test_sensitivity_wakes_process(self):
+        sim = EventSimulator()
+        a = sim.signal("a", 0)
+        b = sim.signal("b", 0)
+        sim.process("follow", lambda: sim.post(b, a.value), [a])
+        sim.touch(a, 7)
+        sim.settle()
+        assert b.value == 7
+
+    def test_process_not_woken_by_unrelated_signal(self):
+        sim = EventSimulator()
+        a = sim.signal("a", 0)
+        c = sim.signal("c", 0)
+        proc = sim.process("p", lambda: None, [a])
+        sim.touch(c, 1)
+        sim.settle()
+        assert proc.runs == 0
+
+    def test_delta_cycle_chain(self):
+        sim = EventSimulator()
+        a = sim.signal("a", 0)
+        b = sim.signal("b", 0)
+        c = sim.signal("c", 0)
+        sim.process("ab", lambda: sim.post(b, a.value + 1), [a])
+        sim.process("bc", lambda: sim.post(c, b.value + 1), [b])
+        sim.touch(a, 10)
+        deltas = sim.settle()
+        assert c.value == 12
+        assert deltas >= 3  # a, then b, then c
+
+    def test_combinational_loop_detected(self):
+        # A combinational inverter feeding itself never settles.
+        sim = EventSimulator()
+        a = sim.signal("a", 0)
+        sim.process("osc", lambda: sim.post(a, 1 - a.value), [a])
+        sim.touch(a, 1)
+        with pytest.raises(SimulationError, match="settle"):
+            sim.settle()
+
+    def test_process_woken_once_per_delta(self):
+        sim = EventSimulator()
+        a = sim.signal("a", 0)
+        b = sim.signal("b", 0)
+        runs = []
+        proc = sim.process("p", lambda: runs.append(1), [a, b])
+        sim.drive({a: 1, b: 1})
+        assert len(runs) == 1
+
+
+class TestClocking:
+    def test_tick_advances_time(self):
+        sim = EventSimulator()
+        clk = sim.signal("clk", 0)
+        sim.tick(clk)
+        assert sim.time == 1
+        assert clk.value == 0  # back low after the falling edge
+
+    def test_clocked_register(self):
+        sim = EventSimulator()
+        clk = sim.signal("clk", 0)
+        d = sim.signal("d", 0)
+        q = sim.signal("q", 0)
+
+        def ff():
+            if clk.value:  # rising edge only
+                sim.post(q, d.value)
+
+        sim.process("ff", ff, [clk])
+        sim.drive({d: 9})
+        sim.tick(clk)
+        assert q.value == 9
+        # d changes mid-cycle do not leak into q until the next edge.
+        sim.drive({d: 4})
+        assert q.value == 9
+        sim.tick(clk)
+        assert q.value == 4
+
+    def test_run_cycles(self):
+        sim = EventSimulator()
+        clk = sim.signal("clk", 0)
+        count = sim.signal("count", 0)
+        sim.process(
+            "counter",
+            lambda: clk.value and sim.post(count, count.value + 1),
+            [clk],
+        )
+        sim.run_cycles(clk, 10)
+        assert count.value == 10

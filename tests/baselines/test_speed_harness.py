@@ -1,0 +1,82 @@
+"""Unit tests for the speed-measurement harness itself."""
+
+import pytest
+
+from repro.baselines.speed import (
+    EngineMeasurement,
+    MODELLED_EMULATION_SPEED,
+    build_packet_schedule,
+    speed_report,
+)
+from repro.noc.topology import paper_flow_pairs
+
+
+class TestSchedule:
+    def test_covers_all_paper_flows(self):
+        schedule = build_packet_schedule(packets_per_flow=5)
+        assert set(schedule) == {src for src, _ in paper_flow_pairs()}
+        for src, dst in paper_flow_pairs():
+            packets = schedule[src]
+            assert len(packets) == 5
+            assert all(p.dst == dst for p in packets)
+
+    def test_interval_spacing(self):
+        schedule = build_packet_schedule(
+            packets_per_flow=4, interval=18
+        )
+        times = [p.injection_cycle for p in schedule[0]]
+        assert times == [0, 18, 36, 54]
+
+    def test_default_is_the_45_percent_point(self):
+        schedule = build_packet_schedule(packets_per_flow=2)
+        p = schedule[0][0]
+        assert p.length / 18 == pytest.approx(0.444, abs=0.01)
+
+
+class TestMeasurement:
+    def test_cycles_per_sec(self):
+        m = EngineMeasurement("x", cycles=1000, wall_seconds=0.5,
+                              packets_received=10)
+        assert m.cycles_per_sec == pytest.approx(2000.0)
+
+    def test_zero_wall_guard(self):
+        m = EngineMeasurement("x", cycles=10, wall_seconds=0.0,
+                              packets_received=1)
+        assert m.cycles_per_sec == float("inf")
+
+
+class TestSpeedReportBuilder:
+    def fake_measurements(self):
+        return [
+            EngineMeasurement("fast", 10_000, 1.0, 1000),
+            EngineMeasurement("slow", 1_000, 1.0, 100),
+        ]
+
+    def test_report_from_measurements(self):
+        report = speed_report(self.fake_measurements())
+        names = [name for name, _, _ in report.modes]
+        assert "Our Emulation" in names  # paper rows included
+        assert "fast" in names and "slow" in names
+        assert report.cycles_per_packet == pytest.approx(10.0)
+
+    def test_paper_rows_optional(self):
+        report = speed_report(
+            self.fake_measurements(), include_paper_rows=False
+        )
+        names = [name for name, _, _ in report.modes]
+        assert "Our Emulation" not in names
+        assert "Modelled emulation @50MHz" in names
+
+    def test_explicit_calibration(self):
+        report = speed_report(
+            self.fake_measurements(), cycles_per_packet=42.0
+        )
+        assert report.cycles_per_packet == 42.0
+
+    def test_uncalibratable_rejected(self):
+        broken = [EngineMeasurement("x", 10, 1.0, 0)]
+        with pytest.raises(ValueError, match="calibrate"):
+            speed_report(broken)
+
+    def test_modelled_speed_is_50mhz(self):
+        assert MODELLED_EMULATION_SPEED == 50e6

@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import paper_platform_config
+from repro.core.platform import build_platform
+from repro.noc.flit import Packet
+from repro.noc.routing import build_shortest_path_tables, paper_routing
+from repro.noc.topology import mesh, paper_topology
+
+
+@pytest.fixture
+def paper_topo():
+    """The 6-switch paper topology."""
+    return paper_topology()
+
+
+@pytest.fixture
+def paper_overlap_routing(paper_topo):
+    return paper_routing(paper_topo, "overlap")
+
+
+@pytest.fixture
+def small_mesh():
+    """A 2x2 mesh with one node per switch."""
+    return mesh(2, 2)
+
+
+@pytest.fixture
+def small_mesh_routing(small_mesh):
+    return build_shortest_path_tables(small_mesh)
+
+
+@pytest.fixture
+def small_paper_platform():
+    """A paper platform with a small packet budget (fast to run)."""
+    return build_platform(
+        paper_platform_config(traffic="uniform", max_packets=100)
+    )
+
+
+def make_packet(
+    src: int = 0, dst: int = 1, length: int = 4, cycle: int = 0
+) -> Packet:
+    """Test helper: one packet with sane defaults."""
+    return Packet(src=src, dst=dst, length=length, injection_cycle=cycle)

@@ -1,0 +1,75 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.traffic == "uniform"
+        assert args.packets == 2000
+        assert args.routing == "overlap"
+
+    def test_bad_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--traffic", "psychic"])
+
+
+class TestCommands:
+    def test_run_prints_report(self, capsys):
+        code = main(
+            ["run", "--packets", "100", "--traffic", "uniform"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "emulation report" in out
+        assert "traffic generators:" in out
+
+    def test_run_burst_with_options(self, capsys):
+        code = main(
+            [
+                "run",
+                "--packets", "60",
+                "--traffic", "burst",
+                "--routing", "disjoint",
+                "--depth", "8",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        assert "received 240" in capsys.readouterr().out
+
+    def test_synth_prints_table(self, capsys):
+        code = main(["synth", "--receptors", "stochastic"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Number of slices" in out
+        assert "XC2VP20" in out
+
+    def test_synth_overflow_exit_code(self, capsys):
+        # Deep buffers blow past the XC2VP20 -> non-zero exit.
+        code = main(["synth", "--depth", "64"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DOES NOT FIT" in out
+
+    def test_synth_auto_part_recovers(self, capsys):
+        code = main(["synth", "--depth", "64", "--auto-part"])
+        assert code == 0
+
+    def test_sweep_prints_series(self, capsys):
+        code = main(
+            ["sweep", "--metric", "congestion", "--budget", "64"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        lines = [
+            l for l in out.splitlines() if l.strip()[:1].isdigit()
+        ]
+        assert len(lines) == 7  # ppb in 1..64

@@ -1,0 +1,48 @@
+"""Tests for the monitor's occupancy and power sections."""
+
+import pytest
+
+from repro.core.config import paper_platform_config
+from repro.core.engine import EmulationEngine
+from repro.core.monitor import Monitor
+from repro.core.platform import build_platform
+
+
+def run_platform(sample_buffers=False):
+    config = paper_platform_config(max_packets=300)
+    config.sample_buffers = sample_buffers
+    platform = build_platform(config)
+    result = EmulationEngine(platform).run()
+    return platform, result
+
+
+class TestOccupancySection:
+    def test_section_renders_when_sampled(self):
+        platform, _ = run_platform(sample_buffers=True)
+        text = Monitor(platform).occupancy_section()
+        assert "peak depth used" in text
+        assert "hottest buffers" in text
+
+    def test_section_rejected_without_sampling(self):
+        platform, _ = run_platform(sample_buffers=False)
+        with pytest.raises(ValueError):
+            Monitor(platform).occupancy_section()
+
+    def test_final_report_includes_occupancy_when_sampled(self):
+        platform, result = run_platform(sample_buffers=True)
+        text = Monitor(platform).final_report(result)
+        assert "buffer occupancy:" in text
+
+    def test_final_report_skips_occupancy_otherwise(self):
+        platform, result = run_platform(sample_buffers=False)
+        text = Monitor(platform).final_report(result)
+        assert "buffer occupancy:" not in text
+
+
+class TestPowerSection:
+    def test_power_section_renders(self):
+        platform, _ = run_platform()
+        text = Monitor(platform).power_section()
+        assert "Power estimate" in text
+        assert "switch0" in text
+        assert "control" in text

@@ -1,0 +1,159 @@
+"""Unit/integration tests for platform building and execution."""
+
+import pytest
+
+from repro.core.config import (
+    PlatformConfig,
+    TGSpec,
+    TRSpec,
+    paper_platform_config,
+)
+from repro.core.errors import ConfigError
+from repro.core.platform import build_platform
+
+
+class TestBuildValidation:
+    def test_requires_generators(self):
+        with pytest.raises(ConfigError, match="no traffic generators"):
+            build_platform(PlatformConfig(topology="mesh:2:2",
+                                          routing="shortest"))
+
+    def test_tg_node_must_exist(self):
+        cfg = PlatformConfig(
+            topology="mesh:2:2",
+            routing="shortest",
+            tgs=[TGSpec(node=99, params={"dst": 1, "length": 2,
+                                         "interval": 4})],
+        )
+        with pytest.raises(ConfigError, match="does not exist"):
+            build_platform(cfg)
+
+    def test_tr_node_must_exist(self):
+        cfg = PlatformConfig(
+            topology="mesh:2:2",
+            routing="shortest",
+            tgs=[TGSpec(node=0, params={"dst": 1, "length": 2,
+                                        "interval": 4})],
+            trs=[TRSpec(node=50)],
+        )
+        with pytest.raises(ConfigError, match="does not exist"):
+            build_platform(cfg)
+
+    def test_duplicate_tg_node_rejected(self):
+        params = {"dst": 1, "length": 2, "interval": 4}
+        cfg = PlatformConfig(
+            topology="mesh:2:2",
+            routing="shortest",
+            tgs=[TGSpec(node=0, params=params),
+                 TGSpec(node=0, params=params)],
+        )
+        with pytest.raises(ConfigError, match="two traffic generators"):
+            build_platform(cfg)
+
+    def test_duplicate_tr_node_rejected(self):
+        cfg = PlatformConfig(
+            topology="mesh:2:2",
+            routing="shortest",
+            tgs=[TGSpec(node=0, params={"dst": 1, "length": 2,
+                                        "interval": 4})],
+            trs=[TRSpec(node=1), TRSpec(node=1)],
+        )
+        with pytest.raises(ConfigError, match="two receptors"):
+            build_platform(cfg)
+
+    def test_unroutable_destination_rejected(self):
+        # Paper routing tables only cover the four paper flows.
+        cfg = paper_platform_config()
+        cfg.tgs[0].params["dst"] = 5  # not flow 0's receptor
+        with pytest.raises(ConfigError, match="no entry"):
+            build_platform(cfg)
+
+
+class TestDeviceMap:
+    def test_all_devices_attached(self, small_paper_platform):
+        p = small_paper_platform
+        devices = p.fabric.devices()
+        # 1 control + 4 TG + 4 TR.
+        assert len(devices) == 9
+        assert devices[0] is p.control
+
+    def test_device_base_addresses_unique(self, small_paper_platform):
+        bases = [
+            d.base_address for d in small_paper_platform.fabric.devices()
+        ]
+        assert len(set(bases)) == len(bases)
+
+    def test_control_probes_wired(self, small_paper_platform):
+        p = small_paper_platform
+        p.run(50)
+        assert p.control.get_cycles() == p.cycle
+        assert p.control.get_sent() == p.packets_sent
+
+
+class TestExecution:
+    def test_step_advances_cycle(self, small_paper_platform):
+        p = small_paper_platform
+        p.step()
+        assert p.cycle == 1
+
+    def test_traffic_flows(self, small_paper_platform):
+        p = small_paper_platform
+        p.run(2000)
+        assert p.packets_sent > 0
+        assert p.packets_received > 0
+
+    def test_runs_to_completion(self, small_paper_platform):
+        p = small_paper_platform
+        p.run(12_000)
+        assert p.generators_done
+        assert p.is_done
+        assert p.packets_received == 400  # 4 TGs x 100 packets
+
+    def test_latency_positive_under_way(self, small_paper_platform):
+        p = small_paper_platform
+        p.run(12_000)
+        assert p.mean_latency() > 0
+        assert p.max_latency() >= p.mean_latency()
+
+    def test_congestion_rate_in_unit_interval(self, small_paper_platform):
+        p = small_paper_platform
+        p.run(5000)
+        assert 0.0 <= p.congestion_rate() < 1.0
+
+    def test_hot_link_loads_keys(self, small_paper_platform):
+        p = small_paper_platform
+        p.run(3000)
+        loads = p.hot_link_loads()
+        assert "1->4" in loads
+        assert "4->1" in loads
+
+    def test_reset_statistics(self, small_paper_platform):
+        p = small_paper_platform
+        p.run(3000)
+        p.reset_statistics()
+        assert p.packets_received == 0
+        assert p.congestion_rate() == 0.0
+
+
+class TestTrafficFamilies:
+    @pytest.mark.parametrize(
+        "family", ["uniform", "burst", "poisson", "onoff"]
+    )
+    def test_stochastic_families_run(self, family):
+        p = build_platform(
+            paper_platform_config(traffic=family, max_packets=50)
+        )
+        p.run(20_000)
+        assert p.packets_received == 200
+
+    def test_trace_family_runs_to_exhaustion(self):
+        p = build_platform(
+            paper_platform_config(
+                traffic="trace",
+                max_packets=None,
+                traffic_params={"n_bursts": 10, "packets_per_burst": 4},
+            )
+        )
+        p.run(30_000)
+        assert p.generators_done
+        assert p.packets_received == 4 * 10 * 4

@@ -1,0 +1,105 @@
+"""Unit tests for registers and register banks."""
+
+import pytest
+
+from repro.core.registers import (
+    Register,
+    RegisterAccessError,
+    RegisterBank,
+)
+
+
+class TestRegister:
+    def test_read_write(self):
+        r = Register("CTRL", value=5)
+        assert r.read() == 5
+        r.write(9)
+        assert r.read() == 9
+
+    def test_values_masked_to_32_bits(self):
+        r = Register("X", value=0x1_FFFF_FFFF)
+        assert r.read() == 0xFFFFFFFF
+        r.write(-1)
+        assert r.read() == 0xFFFFFFFF
+
+    def test_read_only_rejects_write(self):
+        r = Register("STATUS", writable=False)
+        with pytest.raises(RegisterAccessError):
+            r.write(1)
+
+    def test_poke_bypasses_read_only(self):
+        r = Register("STATUS", writable=False)
+        r.poke(7)
+        assert r.read() == 7
+
+    def test_on_write_callback(self):
+        seen = []
+        r = Register("CTRL", on_write=seen.append)
+        r.write(3)
+        assert seen == [3]
+
+    def test_on_read_produces_live_value(self):
+        counter = {"n": 0}
+
+        def live():
+            counter["n"] += 1
+            return counter["n"]
+
+        r = Register("COUNT", writable=False, on_read=live)
+        assert r.read() == 1
+        assert r.read() == 2
+
+
+class TestRegisterBank:
+    def make_bank(self):
+        bank = RegisterBank("dev")
+        bank.define("A", value=1)
+        bank.define("B", value=2)
+        bank.define("C", value=3, writable=False)
+        return bank
+
+    def test_name_access(self):
+        bank = self.make_bank()
+        assert bank["B"].read() == 2
+        assert "A" in bank
+        assert "Z" not in bank
+        assert len(bank) == 3
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(RegisterAccessError):
+            self.make_bank()["Z"]
+
+    def test_duplicate_name_rejected(self):
+        bank = self.make_bank()
+        with pytest.raises(RegisterAccessError):
+            bank.define("A")
+
+    def test_offsets_are_word_aligned(self):
+        bank = self.make_bank()
+        assert bank.offset_of("A") == 0
+        assert bank.offset_of("B") == 4
+        assert bank.offset_of("C") == 8
+
+    def test_offset_read_write(self):
+        bank = self.make_bank()
+        assert bank.read(4) == 2
+        bank.write(0, 99)
+        assert bank["A"].read() == 99
+
+    def test_unaligned_access_rejected(self):
+        with pytest.raises(RegisterAccessError, match="unaligned"):
+            self.make_bank().read(2)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(RegisterAccessError, match="beyond"):
+            self.make_bank().read(12)
+
+    def test_write_to_read_only_via_offset(self):
+        with pytest.raises(RegisterAccessError, match="read-only"):
+            self.make_bank().write(8, 1)
+
+    def test_dump(self):
+        assert self.make_bank().dump() == {"A": 1, "B": 2, "C": 3}
+
+    def test_names_in_order(self):
+        assert self.make_bank().names() == ["A", "B", "C"]

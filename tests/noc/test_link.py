@@ -1,0 +1,101 @@
+"""Unit tests for the inter-switch link pipeline."""
+
+import pytest
+
+from repro.noc.flit import Packet
+from repro.noc.link import Link
+
+
+def one_flit():
+    return Packet(src=0, dst=1, length=1).flit_list()[0]
+
+
+class TestFlitPath:
+    def test_delivery_after_delay(self):
+        link = Link(delay=2)
+        f = one_flit()
+        link.send(f, now=5)
+        assert link.deliver(5) == []
+        assert link.deliver(6) == []
+        assert link.deliver(7) == [f]
+
+    def test_unit_delay_default(self):
+        link = Link()
+        f = one_flit()
+        link.send(f, now=0)
+        assert link.deliver(1) == [f]
+
+    def test_one_flit_per_cycle_enforced(self):
+        link = Link()
+        link.send(one_flit(), now=3)
+        with pytest.raises(RuntimeError, match="one flit per cycle"):
+            link.send(one_flit(), now=3)
+
+    def test_consecutive_cycles_allowed(self):
+        link = Link()
+        a, b = one_flit(), one_flit()
+        link.send(a, now=0)
+        link.send(b, now=1)
+        assert link.deliver(1) == [a]
+        assert link.deliver(2) == [b]
+
+    def test_batch_delivery_of_overdue_flits(self):
+        link = Link(delay=1)
+        a, b = one_flit(), one_flit()
+        link.send(a, now=0)
+        link.send(b, now=1)
+        assert link.deliver(10) == [a, b]
+
+    def test_occupancy(self):
+        link = Link(delay=3)
+        assert link.occupancy == 0
+        link.send(one_flit(), now=0)
+        assert link.occupancy == 1
+        link.deliver(3)
+        assert link.occupancy == 0
+
+    def test_delay_validation(self):
+        with pytest.raises(ValueError):
+            Link(delay=0)
+
+
+class TestCreditPath:
+    def test_credit_round_trip(self):
+        link = Link(delay=2)
+        link.return_credit(now=4)
+        assert link.collect_credits(5) == 0
+        assert link.collect_credits(6) == 1
+
+    def test_credit_batching(self):
+        link = Link(delay=1)
+        link.return_credit(now=0, count=2)
+        link.return_credit(now=0)
+        assert link.collect_credits(1) == 3
+
+    def test_credits_independent_of_flits(self):
+        link = Link(delay=1)
+        link.send(one_flit(), now=0)
+        link.return_credit(now=0)
+        assert link.collect_credits(1) == 1
+        assert len(link.deliver(1)) == 1
+
+
+class TestStatistics:
+    def test_utilization(self):
+        link = Link()
+        for now in range(5):
+            link.send(one_flit(), now=now)
+        assert link.utilization(10) == pytest.approx(0.5)
+
+    def test_utilization_clamped_and_safe(self):
+        link = Link()
+        assert link.utilization(0) == 0.0
+        link.send(one_flit(), now=0)
+        assert link.utilization(1) == 1.0
+
+    def test_reset_stats(self):
+        link = Link()
+        link.send(one_flit(), now=0)
+        link.reset_stats()
+        assert link.flits_carried == 0
+        assert link.busy_cycles == 0

@@ -1,0 +1,173 @@
+"""Unit tests for topology construction and the paper platform."""
+
+import pytest
+
+from repro.noc.topology import (
+    PAPER_FLOWS,
+    PAPER_TG_LOAD,
+    Topology,
+    TopologyError,
+    fully_connected,
+    mesh,
+    paper_flow_pairs,
+    paper_hot_links,
+    paper_topology,
+    ring,
+    spidergon,
+    star,
+    torus,
+)
+
+
+class TestTopologyCore:
+    def test_manual_construction(self):
+        t = Topology(2)
+        t.add_edge(0, 1, bidirectional=True)
+        n0 = t.attach(0)
+        n1 = t.attach(1)
+        assert t.n_nodes == 2
+        assert t.switch_of_node(n0) == 0
+        assert t.switch_of_node(n1) == 1
+        assert t.n_inputs(0) == 2  # link from 1 + node 0
+        assert t.n_outputs(0) == 2
+
+    def test_port_lookup(self):
+        t = Topology(2)
+        t.add_edge(0, 1)
+        node = t.attach(0)
+        assert t.output_port_to_switch(0, 1) == 0
+        assert t.output_port_to_node(0, node) == 1
+
+    def test_missing_link_raises(self):
+        t = Topology(2)
+        with pytest.raises(TopologyError):
+            t.output_port_to_switch(0, 1)
+
+    def test_self_loop_rejected(self):
+        t = Topology(2)
+        with pytest.raises(TopologyError):
+            t.add_edge(1, 1)
+
+    def test_switch_range_checked(self):
+        t = Topology(2)
+        with pytest.raises(TopologyError):
+            t.add_edge(0, 5)
+        with pytest.raises(TopologyError):
+            t.n_inputs(9)
+
+    def test_node_range_checked(self):
+        t = Topology(1)
+        with pytest.raises(TopologyError):
+            t.switch_of_node(0)
+
+    def test_validate_requires_connected_switches(self):
+        t = Topology(2)
+        t.add_edge(0, 1)  # switch 0 has no input, switch 1 no output
+        with pytest.raises(TopologyError):
+            t.validate()
+
+    def test_switch_edges_lists_directed_links(self):
+        t = Topology(2)
+        t.add_edge(0, 1, bidirectional=True)
+        assert sorted(t.switch_edges()) == [(0, 1, 1), (1, 0, 1)]
+
+    def test_nodes_on_switch(self):
+        t = Topology(1)
+        t.add_edge  # no edges needed for this check
+        a = t.attach(0)
+        b = t.attach(0)
+        assert t.nodes_on_switch(0) == [a, b]
+
+
+class TestFactories:
+    def test_mesh_shape(self):
+        t = mesh(3, 2)
+        assert t.n_switches == 6
+        assert t.n_nodes == 6
+        # Corner switch: 2 neighbours + 1 node.
+        assert t.n_inputs(0) == 3
+        # Middle of the top row: 3 neighbours + 1 node.
+        assert t.n_inputs(1) == 4
+
+    def test_mesh_link_count(self):
+        t = mesh(3, 3)
+        # 2D mesh: 2*w*h - w - h bidirectional links -> x2 directed.
+        assert len(t.switch_edges()) == 2 * (2 * 9 - 3 - 3)
+
+    def test_torus_is_regular(self):
+        t = torus(3, 3)
+        for s in range(9):
+            assert t.n_inputs(s) == 5  # 4 neighbours + 1 node
+
+    def test_torus_minimum_size(self):
+        with pytest.raises(TopologyError):
+            torus(2, 3)
+
+    def test_ring(self):
+        t = ring(4)
+        assert t.n_switches == 4
+        for s in range(4):
+            assert t.n_inputs(s) == 3  # 2 neighbours + node
+
+    def test_star(self):
+        t = star(3)
+        assert t.n_switches == 4
+        assert t.n_inputs(0) == 3  # three leaves, no hub node
+        assert t.n_nodes == 3
+
+    def test_fully_connected(self):
+        t = fully_connected(3)
+        assert len(t.switch_edges()) == 6
+
+    def test_spidergon(self):
+        t = spidergon(6)
+        # Ring degree 2 + one cross link + node = 4 inputs everywhere.
+        for s in range(6):
+            assert t.n_inputs(s) == 4
+
+    def test_spidergon_needs_even_count(self):
+        with pytest.raises(TopologyError):
+            spidergon(5)
+
+    def test_mesh_validates(self):
+        mesh(4, 4).validate()
+
+
+class TestPaperTopology:
+    def test_dimensions(self, paper_topo):
+        assert paper_topo.n_switches == 6
+        assert paper_topo.n_nodes == 8  # 4 TG + 4 TR endpoints
+
+    def test_corners_host_devices(self, paper_topo):
+        corners = [0, 2, 3, 5]
+        for i, corner in enumerate(corners):
+            assert paper_topo.switch_of_node(i) == corner  # TG
+            assert paper_topo.switch_of_node(4 + i) == corner  # TR
+
+    def test_middle_switches_have_no_nodes(self, paper_topo):
+        assert paper_topo.nodes_on_switch(1) == []
+        assert paper_topo.nodes_on_switch(4) == []
+
+    def test_flows_are_diagonal(self, paper_topo):
+        for src, dst in paper_flow_pairs():
+            s = paper_topo.switch_of_node(src)
+            d = paper_topo.switch_of_node(dst)
+            # Diagonal corners of the 3x2 grid are 3 hops apart.
+            sx, sy = s % 3, s // 3
+            dx, dy = d % 3, d // 3
+            assert abs(sx - dx) + abs(sy - dy) == 3
+
+    def test_flow_pairing_is_a_bijection(self):
+        tgs = [tg for tg, _ in PAPER_FLOWS]
+        trs = [tr for _, tr in PAPER_FLOWS]
+        assert sorted(tgs) == [0, 1, 2, 3]
+        assert sorted(trs) == [0, 1, 2, 3]
+
+    def test_hot_links_are_the_middle_column(self):
+        assert set(paper_hot_links()) == {(1, 4), (4, 1)}
+
+    def test_paper_load_constant(self):
+        assert PAPER_TG_LOAD == pytest.approx(0.45)
+
+    def test_validates(self, paper_topo):
+        paper_topo.validate()

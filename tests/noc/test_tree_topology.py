@@ -1,0 +1,101 @@
+"""Unit tests for the tree topology and traffic over it."""
+
+import pytest
+
+from repro.noc.deadlock import is_deadlock_free
+from repro.noc.flit import Packet
+from repro.noc.network import Network
+from repro.noc.routing import build_shortest_path_tables
+from repro.noc.topology import TopologyError, tree
+
+
+class TestShape:
+    def test_binary_tree_counts(self):
+        t = tree(2, 3)
+        assert t.n_switches == 7
+        assert t.n_nodes == 4  # the four leaves
+
+    def test_quad_tree_counts(self):
+        t = tree(4, 2)
+        assert t.n_switches == 5
+        assert t.n_nodes == 4
+
+    def test_single_level_tree(self):
+        t = tree(2, 1)
+        assert t.n_switches == 1
+        assert t.n_nodes == 1
+        t.validate()
+
+    def test_root_has_no_nodes(self):
+        t = tree(2, 3)
+        assert t.nodes_on_switch(0) == []
+
+    def test_leaf_degree(self):
+        t = tree(2, 3)
+        # A leaf: parent link (in+out) + node (in+out).
+        for s in range(3, 7):
+            assert t.n_inputs(s) == 2
+            assert t.n_outputs(s) == 2
+
+    def test_root_degree(self):
+        t = tree(3, 2)
+        assert t.n_inputs(0) == 3
+        assert t.n_outputs(0) == 3
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            tree(1, 2)
+        with pytest.raises(TopologyError):
+            tree(2, 0)
+
+    def test_validates(self):
+        tree(3, 3).validate()
+
+
+class TestTrafficOverTree:
+    def test_cross_subtree_traffic_delivered(self):
+        topo = tree(2, 3)
+        net = Network(topo, build_shortest_path_tables(topo))
+        # Leaf 0 to leaf 3: must cross the root.
+        net.offer(Packet(src=0, dst=3, length=4))
+        net.drain()
+        assert net.rx[3].received_packets == 1
+
+    def test_all_pairs_deliver(self):
+        topo = tree(2, 3)
+        net = Network(topo, build_shortest_path_tables(topo))
+        count = 0
+        for src in range(4):
+            for dst in range(4):
+                if src != dst:
+                    net.offer(Packet(src=src, dst=dst, length=2))
+                    count += 1
+        net.drain()
+        assert sum(rx.received_packets for rx in net.rx) == count
+
+    def test_tree_routing_is_deadlock_free(self):
+        # Trees have a unique path per pair: the CDG is a forest.
+        topo = tree(2, 3)
+        routing = build_shortest_path_tables(topo)
+        assert is_deadlock_free(topo, routing)
+
+    def test_root_is_the_bottleneck(self):
+        topo = tree(2, 3)
+        net = Network(topo, build_shortest_path_tables(topo))
+        # All cross-subtree flows share the root's two links.
+        for k in range(10):
+            net.offer(Packet(src=0, dst=2, length=4, injection_cycle=0))
+            net.offer(Packet(src=1, dst=3, length=4, injection_cycle=0))
+        net.drain()
+        loads = net.link_loads()
+        root_out = max(
+            load
+            for (a, b), load in loads.items()
+            if a == 0 or b == 0
+        )
+        leaf_link = max(
+            load
+            for (a, b), load in loads.items()
+            if a >= 3 or b >= 3
+        )
+        assert root_out >= leaf_link * 0.9

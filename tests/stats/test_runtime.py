@@ -1,0 +1,120 @@
+"""Unit tests for the run-time model and speed report (Table 2 shapes)."""
+
+import pytest
+
+from repro.stats.runtime import (
+    PAPER_SPEEDS,
+    RunTimeModel,
+    SpeedReport,
+    format_duration,
+)
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (3.2, "3.2 sec"),
+            (200, "3'20''"),
+            (0, "0.0 sec"),
+            (59.9, "59.9 sec"),
+            (3600, "1h00'"),
+        ],
+    )
+    def test_known_values(self, seconds, expected):
+        assert format_duration(seconds) == expected
+
+    def test_paper_emulation_16mpackets(self):
+        # Paper: 16 Mpackets at 50 Mcycles/s = 3.2 sec (10 cyc/packet).
+        model = RunTimeModel(50e6, cycles_per_packet=10)
+        assert model.format_for_packets(16e6) == "3.2 sec"
+
+    def test_paper_emulation_1000mpackets(self):
+        model = RunTimeModel(50e6, cycles_per_packet=10)
+        assert model.format_for_packets(1000e6) == "3'20''"
+
+    def test_days_format(self):
+        assert format_duration(5 * 86400 + 19 * 3600) == "5 days 19h"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-1)
+
+
+class TestRunTimeModel:
+    def test_linear_in_cycles(self):
+        model = RunTimeModel(1000)
+        assert model.seconds_for_cycles(500) == pytest.approx(0.5)
+
+    def test_packet_conversion(self):
+        model = RunTimeModel(100, cycles_per_packet=4)
+        assert model.seconds_for_packets(50) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RunTimeModel(0)
+        with pytest.raises(ValueError):
+            RunTimeModel(10, cycles_per_packet=0)
+
+
+class TestSpeedReport:
+    def make_report(self):
+        report = SpeedReport(cycles_per_packet=10)
+        report.add_paper_modes()
+        return report
+
+    def test_paper_rows_present(self):
+        rows = self.make_report().rows()
+        names = [r["mode"] for r in rows]
+        assert "Our Emulation" in names
+        assert "SystemC (MPARM)" in names
+        assert "Verilog (ModelSim)" in names
+
+    def test_paper_table_times(self):
+        rows = {r["mode"]: r for r in self.make_report().rows()}
+        # The paper's exact cells for 16 Mpackets.
+        assert rows["Our Emulation"]["16Mpackets"] == "3.2 sec"
+        assert rows["SystemC (MPARM)"]["16Mpackets"] == "2h13'"
+        assert rows["Verilog (ModelSim)"]["16Mpackets"] == "13h53'"
+
+    def test_paper_table_large_workload(self):
+        rows = {r["mode"]: r for r in self.make_report().rows()}
+        assert rows["Our Emulation"]["1000Mpackets"] == "3'20''"
+        # Paper cells: "5 days 19h" and "36 days 4h" — our formatter
+        # floors sub-hour remainders instead of rounding, hence 18h.
+        assert rows["SystemC (MPARM)"]["1000Mpackets"] == "5 days 18h"
+        assert rows["Verilog (ModelSim)"]["1000Mpackets"] == "36 days 4h"
+
+    def test_speedup_four_orders_of_magnitude(self):
+        report = self.make_report()
+        assert report.speedup(
+            "Our Emulation", "Verilog (ModelSim)"
+        ) == pytest.approx(15625.0)
+        assert report.speedup(
+            "Our Emulation", "SystemC (MPARM)"
+        ) == pytest.approx(2500.0)
+
+    def test_unknown_mode_in_speedup(self):
+        with pytest.raises(KeyError):
+            self.make_report().speedup("Our Emulation", "quantum")
+
+    def test_measured_flag_rendered(self):
+        report = SpeedReport(10)
+        report.add_mode("mine", 123.0, measured=True)
+        assert "[measured]" in report.render()
+
+    def test_render_contains_columns(self):
+        text = self.make_report().render()
+        assert "Time for 16 Mpackets" in text
+        assert "Time for 1000 Mpackets" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpeedReport(0)
+        with pytest.raises(ValueError):
+            SpeedReport(1).add_mode("x", 0)
+
+    def test_paper_speed_constants(self):
+        assert PAPER_SPEEDS["Our Emulation"] == 50e6
+        assert PAPER_SPEEDS["SystemC (MPARM)"] == 20e3
+        assert PAPER_SPEEDS["Verilog (ModelSim)"] == 3.2e3

@@ -1,0 +1,150 @@
+"""Unit tests for the LFSR random number generator."""
+
+import pytest
+
+from repro.traffic.rng import Lfsr32, LfsrRandom
+
+
+class TestLfsr32:
+    def test_deterministic_from_seed(self):
+        a, b = Lfsr32(123), Lfsr32(123)
+        assert [a.next_word() for _ in range(4)] == [
+            b.next_word() for _ in range(4)
+        ]
+
+    def test_different_seeds_diverge(self):
+        a, b = Lfsr32(1), Lfsr32(2)
+        assert [a.next_word() for _ in range(4)] != [
+            b.next_word() for _ in range(4)
+        ]
+
+    def test_zero_seed_mapped_to_nonzero(self):
+        lfsr = Lfsr32(0)
+        assert lfsr.state != 0
+
+    def test_state_never_zero(self):
+        lfsr = Lfsr32(1)
+        for _ in range(10_000):
+            lfsr.next_bit()
+            assert lfsr.state != 0
+
+    def test_no_short_cycle(self):
+        lfsr = Lfsr32(0xACE1)
+        seen = set()
+        for _ in range(5_000):
+            assert lfsr.state not in seen
+            seen.add(lfsr.state)
+            lfsr.next_bit()
+
+    def test_bit_balance(self):
+        lfsr = Lfsr32(77)
+        ones = sum(lfsr.next_bit() for _ in range(10_000))
+        assert 4_500 < ones < 5_500
+
+    def test_next_bits_width(self):
+        lfsr = Lfsr32(5)
+        for width in (1, 8, 16, 32, 64):
+            assert 0 <= lfsr.next_bits(width) < (1 << width)
+
+    def test_next_bits_width_validation(self):
+        lfsr = Lfsr32(5)
+        with pytest.raises(ValueError):
+            lfsr.next_bits(0)
+        with pytest.raises(ValueError):
+            lfsr.next_bits(65)
+
+    def test_reseed_restarts_sequence(self):
+        lfsr = Lfsr32(42)
+        first = [lfsr.next_word() for _ in range(3)]
+        lfsr.reseed(42)
+        assert [lfsr.next_word() for _ in range(3)] == first
+
+
+class TestLfsrRandom:
+    def test_random_in_unit_interval(self):
+        rng = LfsrRandom(9)
+        for _ in range(1_000):
+            assert 0.0 <= rng.random() < 1.0
+
+    def test_random_mean_near_half(self):
+        rng = LfsrRandom(13)
+        mean = sum(rng.random() for _ in range(10_000)) / 10_000
+        assert 0.47 < mean < 0.53
+
+    def test_uniform_int_bounds(self):
+        rng = LfsrRandom(3)
+        values = [rng.uniform_int(2, 7) for _ in range(2_000)]
+        assert min(values) == 2
+        assert max(values) == 7
+
+    def test_uniform_int_no_modulo_bias(self):
+        rng = LfsrRandom(21)
+        counts = {v: 0 for v in range(3)}
+        for _ in range(30_000):
+            counts[rng.uniform_int(0, 2)] += 1
+        for c in counts.values():
+            assert 9_000 < c < 11_000
+
+    def test_uniform_int_degenerate_range(self):
+        rng = LfsrRandom(1)
+        assert rng.uniform_int(5, 5) == 5
+
+    def test_uniform_int_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            LfsrRandom(1).uniform_int(3, 2)
+
+    def test_bernoulli_edges(self):
+        rng = LfsrRandom(1)
+        assert not rng.bernoulli(0.0)
+        assert rng.bernoulli(1.0)
+        with pytest.raises(ValueError):
+            rng.bernoulli(1.5)
+
+    def test_bernoulli_rate(self):
+        rng = LfsrRandom(10)
+        hits = sum(rng.bernoulli(0.25) for _ in range(20_000))
+        assert 4_400 < hits < 5_600
+
+    def test_geometric_support(self):
+        rng = LfsrRandom(6)
+        for _ in range(1_000):
+            assert rng.geometric(0.3) >= 1
+
+    def test_geometric_mean(self):
+        rng = LfsrRandom(8)
+        n = 20_000
+        mean = sum(rng.geometric(0.25) for _ in range(n)) / n
+        assert 3.6 < mean < 4.4  # E = 1/p = 4
+
+    def test_geometric_p_one(self):
+        assert LfsrRandom(1).geometric(1.0) == 1
+
+    def test_geometric_validation(self):
+        with pytest.raises(ValueError):
+            LfsrRandom(1).geometric(0.0)
+
+    def test_expovariate_mean(self):
+        rng = LfsrRandom(15)
+        n = 20_000
+        mean = sum(rng.expovariate(0.5) for _ in range(n)) / n
+        assert 1.85 < mean < 2.15  # E = 1/rate = 2
+
+    def test_expovariate_validation(self):
+        with pytest.raises(ValueError):
+            LfsrRandom(1).expovariate(0.0)
+
+    def test_choice(self):
+        rng = LfsrRandom(4)
+        seq = ["a", "b", "c"]
+        seen = {rng.choice(seq) for _ in range(100)}
+        assert seen == set(seq)
+
+    def test_choice_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LfsrRandom(1).choice([])
+
+    def test_reseed_reproduces(self):
+        rng = LfsrRandom(99)
+        first = [rng.uniform_int(0, 100) for _ in range(5)]
+        rng.reseed(99)
+        assert [rng.uniform_int(0, 100) for _ in range(5)] == first
