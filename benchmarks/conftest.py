@@ -14,6 +14,14 @@ import sys
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf: performance smoke benches (excluded from tier-1; run"
+        " explicitly or with -m perf)",
+    )
+
+
 def emit(name: str, text: str) -> None:
     """Print an artefact and persist it under benchmarks/results/."""
     os.makedirs(RESULTS_DIR, exist_ok=True)

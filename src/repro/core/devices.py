@@ -135,6 +135,9 @@ class TGDevice(Device):
 
     def _write_max_packets(self, value: int) -> None:
         self.generator.max_packets = value if value else None
+        # A raised budget can revive a "done" generator; drop any
+        # cached poll schedule that assumed it finished.
+        self.generator.wake()
 
     def _param_read(self, index: int) -> int:
         model = self.generator.model

@@ -66,15 +66,26 @@ class EmulationEngine:
         max_cycles: Optional[int] = None,
         max_packets: Optional[int] = None,
         drain: bool = True,
-        check_interval: int = 64,
+        check_interval: int = 1,
+        fast_forward: bool = True,
+        stagnation_cycles: int = 100_000,
     ) -> EngineResult:
         """Run until done (budget exhausted + drained) or a limit hits.
 
         ``max_packets`` stops once that many packets have been
         *received* platform-wide (the "number of sent packets" axis of
-        Slide 20 is swept by setting TG budgets instead).  Completion
-        checks cost Python time, so they run every ``check_interval``
-        cycles.
+        Slide 20 is swept by setting TG budgets instead).  The
+        completion counters are O(1), so checks default to every cycle
+        (``check_interval=1``); raise it only to amortise the residual
+        per-check Python cost on huge runs.
+
+        ``fast_forward`` lets the engine jump the emulated clock over
+        quiescent stretches (see
+        :meth:`~repro.core.platform.EmulationPlatform.idle_fast_forward`);
+        bursty and low-load workloads skip the idle majority of
+        emulated time with bit-identical results.  ``stagnation_cycles``
+        bounds how long the drain phase may go without a single packet
+        delivery before the deadlock guard trips.
         """
         if max_cycles is None and max_packets is None:
             budget_bounded = all(
@@ -88,50 +99,82 @@ class EmulationEngine:
                     " least one generator has no packet budget"
                 )
         platform = self.platform
+        network = platform.network
         platform.control.start()
         start_cycle = platform.cycle
+        limit_cycle = (
+            None if max_cycles is None else start_cycle + max_cycles
+        )
         started = time.perf_counter()
         completed = False
         since_check = 0
+        gens_done = False
         last_received = platform.packets_received
-        stagnant_cycles = 0
-        while platform.control.running:
-            platform.step()
-            since_check += 1
-            if max_cycles is not None and (
-                platform.cycle - start_cycle
-            ) >= max_cycles:
+        last_progress_cycle = platform.cycle
+        skip_idle = fast_forward and not network.sample_buffers
+        # The loop body inlines platform.step (generator round + one
+        # network cycle): at hundreds of thousands of cycles per
+        # second, even one spare call per cycle is measurable.
+        control = platform.control
+        net_step = network.step
+        poll_generators = platform.poll_generators
+        while control.running:
+            now = network.cycle
+            if now >= platform._next_gen_poll:
+                poll_generators(now)
+            net_step()
+            if limit_cycle is not None and network.cycle >= limit_cycle:
                 break
+            since_check += 1
             if since_check < check_interval:
                 continue
             since_check = 0
-            if (
-                max_packets is not None
-                and platform.packets_received >= max_packets
-            ):
+            received = platform._packets_received
+            if max_packets is not None and received >= max_packets:
                 break
-            if platform.generators_done:
-                if not drain:
+            if not drain:
+                # Emission-phase timing: stop the moment the budgets
+                # are exhausted, drained or not.  Generators cannot
+                # un-finish during a run, so the scan stops paying once
+                # it has returned True.
+                if not gens_done:
+                    gens_done = platform.generators_done
+                if gens_done:
                     completed = True
                     break
-                if platform.network.is_drained:
-                    completed = True
-                    break
-                # Deadlock guard: traffic is over but flits stopped
-                # moving toward the receptors.
-                received = platform.packets_received
-                if received == last_received:
-                    stagnant_cycles += check_interval
-                    if stagnant_cycles >= 100_000:
-                        raise EmulationError(
-                            f"network failed to drain:"
-                            f" {platform.network.in_flight_flits}"
-                            f" flits stuck after traffic ended"
-                            f" (possible routing deadlock)"
-                        )
-                else:
-                    stagnant_cycles = 0
+            if network._in_flight_flits == 0:
+                # Quiescent fabric: the (rare) slow-path checks.
                 last_received = received
+                last_progress_cycle = network.cycle
+                if not gens_done:
+                    gens_done = platform.generators_done
+                if gens_done and network.is_drained:
+                    completed = True
+                    break
+                if skip_idle and platform.idle_fast_forward(limit_cycle):
+                    # The jump is idle time, not stagnation: restart
+                    # the progress clock at the landing cycle.
+                    last_progress_cycle = network.cycle
+                    if (
+                        limit_cycle is not None
+                        and network.cycle >= limit_cycle
+                    ):
+                        break
+            elif received != last_received:
+                last_received = received
+                last_progress_cycle = network.cycle
+            elif (
+                network.cycle - last_progress_cycle
+                >= stagnation_cycles
+            ):
+                # Deadlock guard: flits in flight but none delivered
+                # for a whole stagnation window.
+                raise EmulationError(
+                    f"network failed to drain:"
+                    f" {network.in_flight_flits} flits stuck"
+                    f" without progress for {stagnation_cycles}"
+                    f" cycles (possible routing deadlock)"
+                )
         wall = time.perf_counter() - started
         platform.control.stop()
         return EngineResult(

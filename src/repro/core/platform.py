@@ -29,7 +29,7 @@ from repro.receptors.base import TrafficReceptor
 from repro.receptors.stochastic import StochasticReceptor
 from repro.receptors.tracedriven import TraceDrivenReceptor
 from repro.stats.congestion import network_congestion_rate
-from repro.traffic.generator import TrafficGenerator
+from repro.traffic.generator import NEVER_POLL, TrafficGenerator
 
 
 def _build_receptor(spec: TRSpec, n_nodes: int) -> TrafficReceptor:
@@ -67,7 +67,33 @@ class EmulationPlatform:
         self.control = ControlDevice()
         self.tg_devices: List[TGDevice] = []
         self.tr_devices: List[TRDevice] = []
+        # O(1) platform-wide progress counters, maintained by delta
+        # hooks on every generator/receptor (so resets through any
+        # path — engine, bus registers, reset_statistics — stay
+        # consistent) instead of per-query sum() scans.
+        self._packets_sent = sum(g.packets_sent for g in generators)
+        self._packets_received = sum(
+            r.packets_received for r in receptors
+        )
+        for generator in generators:
+            generator.on_count = self._count_sent
+            generator.on_wake = self._wake_generators
+        for receptor in receptors:
+            receptor.on_count = self._count_received
+        # Earliest cycle at which any generator could act (emit or
+        # count backpressure); whole generator rounds are skipped until
+        # then.  Control operations invalidate it via the wake hook.
+        self._next_gen_poll = 0
         self._attach_devices()
+
+    def _count_sent(self, delta: int) -> None:
+        self._packets_sent += delta
+
+    def _count_received(self, delta: int) -> None:
+        self._packets_received += delta
+
+    def _wake_generators(self) -> None:
+        self._next_gen_poll = 0
 
     def _attach_devices(self) -> None:
         self.fabric.attach(self.control, bus=0)
@@ -90,10 +116,41 @@ class EmulationPlatform:
     # ------------------------------------------------------------------
     def step(self) -> None:
         """Advance the platform by one emulated clock cycle."""
-        now = self.network.cycle
+        network = self.network
+        now = network.cycle
+        if now >= self._next_gen_poll:
+            self.poll_generators(now)
+        network.step()
+
+    def poll_generators(self, now: int) -> None:
+        """One generator round, rescheduling the next mandatory round.
+
+        Generators whose model is contractually silent and whose NI
+        queue cannot backpressure are skipped wholesale until the
+        earliest cycle one of them could act (see
+        :meth:`~repro.traffic.generator.TrafficGenerator.next_poll_cycle`);
+        the engine's hot loop calls this only when that cycle arrives.
+        """
+        nxt = None
         for generator in self.generators:
             generator.step(now)
-        self.network.step()
+            t = generator.next_poll_cycle(now + 1)
+            if nxt is None or t < nxt:
+                nxt = t
+        self._next_gen_poll = now + 1 if nxt is None else nxt
+
+    def step_reference(self) -> None:
+        """One cycle via the scan-everything reference dataflow.
+
+        Identical semantics to :meth:`step` but driving
+        :meth:`~repro.noc.network.Network.step_reference`; the parity
+        tests and the kernel speed bench co-simulate the two paths.
+        """
+        network = self.network
+        now = network.cycle
+        if now >= self._next_gen_poll:
+            self.poll_generators(now)
+        network.step_reference()
 
     def run(self, cycles: int) -> None:
         for _ in range(cycles):
@@ -103,16 +160,50 @@ class EmulationPlatform:
     def cycle(self) -> int:
         return self.network.cycle
 
+    def idle_fast_forward(
+        self, limit_cycle: Optional[int] = None
+    ) -> int:
+        """Jump over idle time when the fabric is quiescent.
+
+        When no flit is queued, buffered or on a wire, nothing can
+        happen until a traffic model's next emission: the platform
+        jumps ``network.cycle`` straight there (clamped to
+        ``limit_cycle``) instead of spinning empty cycles.  Returns the
+        number of cycles skipped (0 when the fabric is busy, an
+        emission is due now, or nothing will ever emit again).  Cycle
+        accuracy is preserved because every skipped cycle is one where
+        all generator polls are contractually silent (see
+        :meth:`~repro.traffic.base.TrafficModel.next_emission_cycle`)
+        and the network state cannot change.  Disabled under
+        ``sample_buffers``, whose per-cycle occupancy sampling must
+        observe every idle cycle.
+        """
+        network = self.network
+        if network.sample_buffers or network._in_flight_flits:
+            return 0
+        # With the fabric quiescent there is no backpressure, so the
+        # next generator poll cycle *is* the next possible emission.
+        target = self._next_gen_poll
+        if target >= NEVER_POLL:
+            return 0  # no generator will ever emit again
+        now = network.cycle
+        if limit_cycle is not None and target > limit_cycle:
+            target = limit_cycle
+        if target <= now:
+            return 0
+        network.cycle = target
+        return target - now
+
     # ------------------------------------------------------------------
     # Progress and aggregate statistics
     # ------------------------------------------------------------------
     @property
     def packets_sent(self) -> int:
-        return sum(g.packets_sent for g in self.generators)
+        return self._packets_sent
 
     @property
     def packets_received(self) -> int:
-        return sum(r.packets_received for r in self.receptors)
+        return self._packets_received
 
     @property
     def generators_done(self) -> bool:

@@ -68,6 +68,12 @@ class RoundRobinArbiter(Arbiter):
         self._pointer = 0
 
     def _select(self, requests: Sequence[int]) -> int:
+        if len(requests) == 1:
+            # Uncontended grant: the pointer still advances past the
+            # winner, exactly as the rotating search would set it.
+            candidate = requests[0]
+            self._pointer = (candidate + 1) % self.n_requesters
+            return candidate
         request_set = set(requests)
         for offset in range(self.n_requesters):
             candidate = (self._pointer + offset) % self.n_requesters

@@ -9,7 +9,7 @@ statistics can be driven from the same object.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Iterator, Optional
+from typing import Deque, Dict, Iterator, Optional
 
 from repro.noc.flit import Flit
 
@@ -28,14 +28,37 @@ class FlitBuffer:
     Credit-based flow control guarantees a producer never pushes into a
     full buffer; a push into a full buffer therefore raises instead of
     silently dropping, because it indicates a protocol bug.
+
+    ``track_packets`` keeps a per-packet flit count updated on every
+    push/pop, giving store-and-forward switches an O(1) answer to "is
+    the head packet fully buffered?" instead of rescanning the FIFO
+    every cycle while the packet accumulates.
     """
 
-    def __init__(self, capacity: int, name: str = "") -> None:
+    __slots__ = (
+        "capacity",
+        "name",
+        "_fifo",
+        "_pid_counts",
+        "total_pushes",
+        "total_pops",
+        "peak_occupancy",
+        "occupancy_cycles",
+        "full_cycles",
+        "_sampled_cycles",
+    )
+
+    def __init__(
+        self, capacity: int, name: str = "", track_packets: bool = False
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"buffer capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.name = name
         self._fifo: Deque[Flit] = deque()
+        self._pid_counts: Optional[Dict[int, int]] = (
+            {} if track_packets else None
+        )
         # Statistics.
         self.total_pushes = 0
         self.total_pops = 0
@@ -66,23 +89,37 @@ class FlitBuffer:
         return self.capacity - len(self._fifo)
 
     def push(self, flit: Flit) -> None:
-        if self.is_full:
+        fifo = self._fifo
+        if len(fifo) >= self.capacity:
             raise BufferFullError(
                 f"push into full buffer {self.name or id(self)} "
                 f"(capacity {self.capacity})"
             )
-        self._fifo.append(flit)
+        fifo.append(flit)
+        counts = self._pid_counts
+        if counts is not None:
+            pid = flit.packet.pid
+            counts[pid] = counts.get(pid, 0) + 1
         self.total_pushes += 1
-        if len(self._fifo) > self.peak_occupancy:
-            self.peak_occupancy = len(self._fifo)
+        if len(fifo) > self.peak_occupancy:
+            self.peak_occupancy = len(fifo)
 
     def pop(self) -> Flit:
-        if self.is_empty:
+        if not self._fifo:
             raise BufferEmptyError(
                 f"pop from empty buffer {self.name or id(self)}"
             )
         self.total_pops += 1
-        return self._fifo.popleft()
+        flit = self._fifo.popleft()
+        counts = self._pid_counts
+        if counts is not None:
+            pid = flit.packet.pid
+            remaining = counts[pid] - 1
+            if remaining:
+                counts[pid] = remaining
+            else:
+                del counts[pid]
+        return flit
 
     def peek(self) -> Flit:
         if self.is_empty:
@@ -97,6 +134,17 @@ class FlitBuffer:
 
     def clear(self) -> None:
         self._fifo.clear()
+        if self._pid_counts is not None:
+            self._pid_counts.clear()
+
+    def packet_flit_count(self, pid: int) -> int:
+        """Buffered flits belonging to packet ``pid``.
+
+        O(1) when the buffer tracks packets, otherwise a FIFO scan.
+        """
+        if self._pid_counts is not None:
+            return self._pid_counts.get(pid, 0)
+        return sum(1 for f in self._fifo if f.packet.pid == pid)
 
     # ------------------------------------------------------------------
     # Statistics

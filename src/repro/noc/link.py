@@ -11,7 +11,7 @@ utilisation counter that the monitor can read out.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Callable, Deque, List, Optional, Tuple
 
 from repro.noc.flit import Flit
 
@@ -29,6 +29,21 @@ class Link:
         ``"sw2:out1->sw4:in0"``.
     """
 
+    __slots__ = (
+        "delay",
+        "name",
+        "_in_flight",
+        "_credits_in_flight",
+        "on_flit_scheduled",
+        "on_credit_scheduled",
+        "flit_armed",
+        "credit_armed",
+        "flits_carried",
+        "busy_cycles",
+        "stats_since",
+        "_last_send_cycle",
+    )
+
     def __init__(self, delay: int = 1, name: str = "") -> None:
         if delay < 1:
             raise ValueError(f"link delay must be >= 1, got {delay}")
@@ -36,9 +51,21 @@ class Link:
         self.name = name
         self._in_flight: Deque[Tuple[int, Flit]] = deque()
         self._credits_in_flight: Deque[Tuple[int, int]] = deque()
+        # Event-driven scheduling hooks (set by the network): called
+        # with the arrival cycle when an idle queue starts a flight, so
+        # the network's armed sets learn this link needs service.  The
+        # armed flags are owned cooperatively: the link sets one when
+        # it fires the hook, the network clears it when it retires the
+        # link from its armed set (lazily, so a link under sustained
+        # traffic arms exactly once).
+        self.on_flit_scheduled: Optional[Callable[[int], None]] = None
+        self.on_credit_scheduled: Optional[Callable[[int], None]] = None
+        self.flit_armed = False
+        self.credit_armed = False
         # Statistics.
         self.flits_carried = 0
         self.busy_cycles = 0
+        self.stats_since = 0  # cycle the stats window opened at
         self._last_send_cycle: Optional[int] = None
 
     # ------------------------------------------------------------------
@@ -53,6 +80,9 @@ class Link:
             )
         self._last_send_cycle = now
         self._in_flight.append((now + self.delay, flit))
+        if not self.flit_armed and self.on_flit_scheduled is not None:
+            self.flit_armed = True
+            self.on_flit_scheduled(now + self.delay)
         self.flits_carried += 1
         self.busy_cycles += 1
 
@@ -74,6 +104,9 @@ class Link:
     def return_credit(self, now: int, count: int = 1) -> None:
         """Send ``count`` credits upstream; they arrive ``delay`` later."""
         self._credits_in_flight.append((now + self.delay, count))
+        if not self.credit_armed and self.on_credit_scheduled is not None:
+            self.credit_armed = True
+            self.on_credit_scheduled(now + self.delay)
 
     def collect_credits(self, now: int) -> int:
         """Number of credits that have completed the return trip."""
@@ -94,9 +127,11 @@ class Link:
             return 0.0
         return min(1.0, self.busy_cycles / elapsed_cycles)
 
-    def reset_stats(self) -> None:
+    def reset_stats(self, now: int = 0) -> None:
+        """Zero the counters and open a new stats window at ``now``."""
         self.flits_carried = 0
         self.busy_cycles = 0
+        self.stats_since = now
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Link({self.name!r}, delay={self.delay})"

@@ -7,11 +7,30 @@ fabric by one clock cycle.  This is the "network of switches [that] can
 emulate any NoC packet-switching intercommunication scheme" at the heart
 of the hardware platform (Slide 13); the emulation engine in
 ``repro.core`` drives it together with the traffic devices.
+
+:meth:`Network.step` is *event-driven*: the network keeps a set of
+switches with buffered flits, a set of network interfaces with queued
+flits, and one armed set per link queue kind (flit deliveries, credit
+returns), so a cycle costs time proportional to the components with
+work rather than to the fabric size.  Components feed these structures
+through wake-up hooks: a switch notifies on its empty -> busy
+:meth:`~repro.noc.switch.Switch.receive` transition, a link arms
+itself when :meth:`~repro.noc.link.Link.send` or
+:meth:`~repro.noc.link.Link.return_credit` starts a flight, and an NI
+notifies on :meth:`~repro.noc.ni.NetworkInterface.offer`.  Link queues
+are FIFOs with constant delay, so each queue head *is* its earliest
+arrival time: the armed sets are a flattened event heap whose per-link
+minima pop in O(1), without the heap churn a delay-1 link would cause
+by re-keying every cycle.  The original scan-everything dataflow
+survives as :meth:`Network.step_reference`; both paths produce
+bit-identical cycle behaviour (see
+``tests/integration/test_kernel_parity.py``).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from functools import partial
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.noc.flit import Flit, Packet
 from repro.noc.link import Link
@@ -83,8 +102,21 @@ class Network:
         self._credit_sinks: List[Callable[[int], None]] = []
         # Per-link downstream flit sink: called with (flit, now).
         self._flit_sinks: List[Callable[[Flit, int], None]] = []
+        # Event-driven scheduling state.  The active sets hold the ids
+        # of switches/NIs with buffered flits; the armed sets hold the
+        # indices of links with a non-empty flit/credit queue.  All
+        # four are fed by component wake-up hooks, so they stay
+        # consistent no matter which step path (event-driven or
+        # reference) drives the fabric.  ``_in_flight_flits`` counts
+        # every flit between an NI queue and reassembly, incremented on
+        # offer and decremented on ejection.
+        self._active_switches: Set[int] = set()
+        self._active_nis: Set[int] = set()
+        self._armed_flit_links: Set[int] = set()
+        self._armed_credit_links: Set[int] = set()
+        self._in_flight_flits = 0
         self._wire()
-        # Pre-zipped scan lists so the per-cycle loop touches each
+        # Pre-zipped scan lists so the per-cycle loops touch each
         # link's queues without repeated attribute lookups.
         self._credit_scan = [
             (link._credits_in_flight, link, sink)
@@ -94,7 +126,45 @@ class Network:
             (link._in_flight, link, sink)
             for link, sink in zip(self.links, self._flit_sinks)
         ]
+        for switch in self.switches:
+            switch._wake = self._make_wake_hook(
+                self._active_switches, switch.switch_id
+            )
+        for idx, link in enumerate(self.links):
+            link.on_flit_scheduled = self._make_arm_hook(
+                self._armed_flit_links, idx
+            )
+            link.on_credit_scheduled = self._make_arm_hook(
+                self._armed_credit_links, idx
+            )
+        for node, ni in enumerate(self.nis):
+            ni._notify_offer = self._make_offer_hook(node)
         self.cycle = 0
+
+    @staticmethod
+    def _make_wake_hook(active: Set[int], member: int) -> Callable[[], None]:
+        def wake() -> None:
+            active.add(member)
+
+        return wake
+
+    @staticmethod
+    def _make_arm_hook(
+        armed: Set[int], idx: int
+    ) -> Callable[[int], None]:
+        def arm(arrival: int) -> None:
+            armed.add(idx)
+
+        return arm
+
+    def _make_offer_hook(self, node: int) -> Callable[[int], None]:
+        active = self._active_nis
+
+        def offered(n_flits: int) -> None:
+            self._in_flight_flits += n_flits
+            active.add(node)
+
+        return offered
 
     # ------------------------------------------------------------------
     # Elaboration
@@ -164,18 +234,16 @@ class Network:
     ) -> None:
         up, down = self.switches[a], self.switches[b]
         up.connect_output(
-            out_port, link.send, credits=down.inputs[in_port].capacity
+            out_port,
+            link.send,
+            credits=down.inputs[in_port].capacity,
+            link=link,
         )
         down.connect_input_hook(in_port, link.return_credit)
         self.links.append(link)
-        self._credit_sinks.append(
-            lambda n, _up=up, _p=out_port: _up.credit(_p, n)
-        )
-        self._flit_sinks.append(
-            lambda flit, now, _down=down, _p=in_port: _down.receive(
-                _p, flit
-            )
-        )
+        # partial() binds are C-level: no extra Python frame per event.
+        self._credit_sinks.append(partial(up.credit, out_port))
+        self._flit_sinks.append(partial(down.receive, in_port))
 
     def _add_ejection(
         self, link: Link, a: int, out_port: int, node: int
@@ -184,12 +252,15 @@ class Network:
         rx = self.rx[node]
         # A traffic receptor consumes one flit per cycle and never
         # backpressures, hence infinite credits on ejection ports.
-        up.connect_output(out_port, link.send, credits=None)
+        up.connect_output(out_port, link.send, credits=None, link=link)
         self.links.append(link)
         self._credit_sinks.append(lambda n: None)
-        self._flit_sinks.append(
-            lambda flit, now, _rx=rx: _rx.receive(flit, now)
-        )
+        self._flit_sinks.append(partial(self._eject, rx))
+
+    def _eject(self, rx: ReassemblyBuffer, flit: Flit, now: int) -> None:
+        """Hand a flit to reassembly, retiring it from the in-flight count."""
+        self._in_flight_flits -= 1
+        rx.receive(flit, now)
 
     def _add_injection(
         self, link: Link, node: int, switch: int, in_port: int
@@ -200,11 +271,7 @@ class Network:
         down.connect_input_hook(in_port, link.return_credit)
         self.links.append(link)
         self._credit_sinks.append(ni.credit)
-        self._flit_sinks.append(
-            lambda flit, now, _down=down, _p=in_port: _down.receive(
-                _p, flit
-            )
-        )
+        self._flit_sinks.append(partial(down.receive, in_port))
 
     # ------------------------------------------------------------------
     # Per-cycle dataflow
@@ -222,21 +289,122 @@ class Network:
         A flit delivered in phase 3 therefore traverses its next switch
         no earlier than the following cycle, giving the registered
         one-cycle-per-hop behaviour of the hardware switches.
+
+        Each phase visits only components with work: armed links,
+        then switches/NIs from the active sets.  Iteration order
+        within a phase is free — components of one phase never
+        interact with each other inside a cycle (sends land on links,
+        never directly on another switch).  Retirement is deferred and
+        lazy: a link whose queue is found empty is retired on the next
+        visit, so sustained traffic arms each link exactly once instead
+        of churning the sets every cycle.
+        """
+        now = self.cycle
+        armed = self._armed_credit_links
+        if armed:
+            scan = self._credit_scan
+            retire = None
+            for idx in armed:
+                queue, link, sink = scan[idx]
+                if not queue:
+                    if retire is None:
+                        retire = [idx]
+                    else:
+                        retire.append(idx)
+                elif queue[0][0] <= now:
+                    total = 0
+                    pop = queue.popleft
+                    while queue and queue[0][0] <= now:
+                        total += pop()[1]
+                    sink(total)
+            if retire is not None:
+                for idx in retire:
+                    armed.discard(idx)
+                    scan[idx][1].credit_armed = False
+        moved = 0
+        active = self._active_switches
+        if active:
+            switches = self.switches
+            retire = None
+            for sid in active:
+                switch = switches[sid]
+                moved += switch.traverse(now)
+                if not switch._buffered:
+                    if retire is None:
+                        retire = [sid]
+                    else:
+                        retire.append(sid)
+            if retire is not None:
+                active.difference_update(retire)
+        armed = self._armed_flit_links
+        if armed:
+            scan = self._flit_scan
+            retire = None
+            for idx in armed:
+                queue, link, sink = scan[idx]
+                if not queue:
+                    if retire is None:
+                        retire = [idx]
+                    else:
+                        retire.append(idx)
+                elif queue[0][0] <= now:
+                    pop = queue.popleft
+                    while queue and queue[0][0] <= now:
+                        sink(pop()[1], now)
+            if retire is not None:
+                for idx in retire:
+                    armed.discard(idx)
+                    scan[idx][1].flit_armed = False
+        active_nis = self._active_nis
+        if active_nis:
+            nis = self.nis
+            retire = None
+            for node in active_nis:
+                ni = nis[node]
+                ni.inject(now)
+                if not ni._flits:
+                    if retire is None:
+                        retire = [node]
+                    else:
+                        retire.append(node)
+            if retire is not None:
+                active_nis.difference_update(retire)
+        if self.sample_buffers:
+            for switch in self.switches:
+                switch.sample_buffers()
+        self.cycle = now + 1
+        return moved
+
+    def step_reference(self) -> int:
+        """One cycle via the original scan-everything dataflow.
+
+        Kept as the parity oracle for :meth:`step`: it visits every
+        link, switch and NI each cycle regardless of activity, so it is
+        size-proportional but trivially correct.  The wake-up hooks and
+        the in-flight counter are maintained by the components
+        themselves, so the event-driven bookkeeping stays consistent
+        even when this path drives the fabric.
         """
         now = self.cycle
         for queue, link, sink in self._credit_scan:
             if queue and queue[0][0] <= now:
                 sink(link.collect_credits(now))
         moved = 0
+        active = self._active_switches
         for switch in self.switches:
             moved += switch.traverse(now)
+            if not switch._buffered:
+                active.discard(switch.switch_id)
         for queue, link, sink in self._flit_scan:
             if queue and queue[0][0] <= now:
                 for flit in link.deliver(now):
                     sink(flit, now)
+        active_nis = self._active_nis
         for ni in self.nis:
             if ni._flits:
                 ni.inject(now)
+            if not ni._flits:
+                active_nis.discard(ni.node)
         if self.sample_buffers:
             for switch in self.switches:
                 switch.sample_buffers()
@@ -257,20 +425,34 @@ class Network:
 
     @property
     def in_flight_flits(self) -> int:
-        """Flits anywhere between an NI queue and reassembly."""
+        """Flits anywhere between an NI queue and reassembly (O(1))."""
+        return self._in_flight_flits
+
+    def scan_in_flight_flits(self) -> int:
+        """The in-flight count recomputed by scanning every component.
+
+        Parity oracle for the incremental counter; equal to
+        :attr:`in_flight_flits` unless the bookkeeping has a bug.
+        """
         total = sum(ni.pending_flits for ni in self.nis)
-        total += sum(sw.buffered_flits for sw in self.switches)
+        total += sum(len(buf) for sw in self.switches for buf in sw.inputs)
         total += sum(link.occupancy for link in self.links)
         return total
 
     @property
+    def quiescent(self) -> bool:
+        """True when no flit is queued, buffered or on a wire.
+
+        Credits may still be returning upstream; they carry no
+        observable state change until the next flit moves, so a
+        quiescent fabric can fast-forward over idle cycles.
+        """
+        return self._in_flight_flits == 0
+
+    @property
     def is_drained(self) -> bool:
         """True when no flit is queued, buffered, in flight or partial."""
-        if any(not ni.idle for ni in self.nis):
-            return False
-        if any(link.occupancy for link in self.links):
-            return False
-        if any(sw.buffered_flits for sw in self.switches):
+        if self._in_flight_flits:
             return False
         return all(rx.partial_packets == 0 for rx in self.rx)
 
@@ -298,11 +480,17 @@ class Network:
             raise KeyError(f"no link between switches {a} and {b}") from None
 
     def link_loads(self) -> Dict[Tuple[int, int], float]:
-        """Utilisation of every inter-switch link since cycle 0."""
-        elapsed = max(1, self.cycle)
+        """Utilisation of every inter-switch link over its stats window.
+
+        The window runs from the link's last :meth:`reset_stats` (cycle
+        0 if never reset) to the current cycle, so mid-run statistics
+        resets yield the post-reset utilisation rather than diluting
+        ``busy_cycles`` over the whole run.
+        """
         loads: Dict[Tuple[int, int], float] = {}
         for pair, links in self.switch_links.items():
             for link in links:
+                elapsed = max(1, self.cycle - link.stats_since)
                 loads[pair] = max(
                     loads.get(pair, 0.0), link.utilization(elapsed)
                 )
@@ -317,7 +505,7 @@ class Network:
         for sw in self.switches:
             sw.reset_stats()
         for link in self.links:
-            link.reset_stats()
+            link.reset_stats(now=self.cycle)
         for ni in self.nis:
             ni.reset_stats()
         for rx in self.rx:

@@ -27,12 +27,30 @@ class NetworkInterface:
     available.
     """
 
+    __slots__ = (
+        "node",
+        "name",
+        "_flits",
+        "_link",
+        "_credits",
+        "_notify_offer",
+        "offered_packets",
+        "injected_flits",
+        "injected_packets",
+        "stall_cycles",
+        "peak_queue",
+    )
+
     def __init__(self, node: int, name: str = "") -> None:
         self.node = node
         self.name = name or f"ni{node}"
         self._flits: Deque[Flit] = deque()
         self._link: Optional[Link] = None
         self._credits = 0
+        # Event-driven scheduling hook (set by the network): called
+        # with the queued flit count on every offer, so the network can
+        # bump its in-flight counter and mark this NI active.
+        self._notify_offer: Optional[Callable[[int], None]] = None
         # Statistics.
         self.offered_packets = 0
         self.injected_flits = 0
@@ -58,6 +76,8 @@ class NetworkInterface:
         self._flits.extend(packet.flits())
         if len(self._flits) > self.peak_queue:
             self.peak_queue = len(self._flits)
+        if self._notify_offer is not None:
+            self._notify_offer(packet.length)
 
     @property
     def pending_flits(self) -> int:
@@ -112,6 +132,16 @@ class ReassemblyBuffer:
     store-and-forward or multi-link ejection.
     """
 
+    __slots__ = (
+        "node",
+        "name",
+        "on_packet",
+        "_partial",
+        "received_flits",
+        "received_packets",
+        "misrouted_flits",
+    )
+
     def __init__(
         self,
         node: int,
@@ -139,7 +169,9 @@ class ReassemblyBuffer:
                 f" routing tables are inconsistent"
             )
         pid = flit.packet.pid
-        flits = self._partial.setdefault(pid, [])
+        flits = self._partial.get(pid)
+        if flits is None:
+            flits = self._partial[pid] = []
         flits.append(flit)
         if len(flits) < flit.packet.length:
             return None

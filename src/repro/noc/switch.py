@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.noc.arbiter import Arbiter, make_arbiter
-from repro.noc.buffer import FlitBuffer
+from repro.noc.buffer import BufferFullError, FlitBuffer
 from repro.noc.flit import Flit
 from repro.noc.routing import RoutingFunction
 
@@ -59,7 +59,7 @@ class SwitchConfig:
             self.mode = SwitchingMode(self.mode)
 
 
-@dataclass
+@dataclass(slots=True)
 class _OutputPort:
     """Book-keeping for one output port, wired up by the network."""
 
@@ -68,6 +68,9 @@ class _OutputPort:
     infinite_credits: bool = False
     lock: Optional[int] = None  # input index holding the wormhole channel
     flits_sent: int = 0
+    #: The Link behind ``send`` when the sink is a plain link, letting
+    #: the traverse fast path inline the send; None for custom sinks.
+    link: Optional[object] = None
 
 
 class Switch:
@@ -79,6 +82,24 @@ class Switch:
     cycle of arbitration and flit movement).
     """
 
+    __slots__ = (
+        "switch_id",
+        "config",
+        "routing",
+        "inputs",
+        "arbiters",
+        "_outputs",
+        "_input_pop_hooks",
+        "_input_route",
+        "_buffered",
+        "_wake",
+        "_requests",
+        "_blocked_heads",
+        "flits_forwarded",
+        "blocked_flit_cycles",
+        "credit_stall_cycles",
+    )
+
     def __init__(
         self,
         switch_id: int,
@@ -89,7 +110,11 @@ class Switch:
         self.config = config
         self.routing = routing
         self.inputs: List[FlitBuffer] = [
-            FlitBuffer(config.buffer_depth, name=f"sw{switch_id}.in{i}")
+            FlitBuffer(
+                config.buffer_depth,
+                name=f"sw{switch_id}.in{i}",
+                track_packets=config.mode is SwitchingMode.STORE_AND_FORWARD,
+            )
             for i in range(config.n_inputs)
         ]
         self.arbiters: List[Arbiter] = [
@@ -108,6 +133,15 @@ class Switch:
         # Cached route of the packet currently at the head of each input
         # (set when its HEAD flit is routed, cleared when TAIL leaves).
         self._input_route: List[Optional[int]] = [None] * config.n_inputs
+        # Incremental flit count across all input buffers, and the
+        # network's wake-up hook fired on the empty -> busy transition
+        # (event-driven scheduling: an idle switch costs nothing).
+        self._buffered = 0
+        self._wake: Optional[Callable[[], None]] = None
+        # Scratch containers reused across traverse calls (cleared at
+        # the start of each call) to keep allocations off the hot path.
+        self._requests: Dict[int, List[int]] = {}
+        self._blocked_heads: List[Flit] = []
         # Statistics.
         self.flits_forwarded = 0
         self.blocked_flit_cycles = 0  # head flit wanted to move, couldn't
@@ -121,12 +155,15 @@ class Switch:
         port: int,
         send: Callable[[Flit, int], None],
         credits: Optional[int],
+        link: Optional[object] = None,
     ) -> None:
         """Attach output ``port`` to a sink.
 
         ``credits`` is the downstream buffer capacity, or ``None`` for a
         sink that always accepts (a traffic receptor consuming one flit
-        per cycle never backpressures the switch).
+        per cycle never backpressures the switch).  ``link`` names the
+        :class:`~repro.noc.link.Link` behind ``send`` when there is
+        one, enabling the inlined send fast path.
         """
         if self._outputs[port] is not None:
             raise RuntimeError(
@@ -138,6 +175,7 @@ class Switch:
             send=send,
             credits=0 if infinite else credits,
             infinite_credits=infinite,
+            link=link,
         )
 
     def connect_input_hook(
@@ -162,9 +200,32 @@ class Switch:
     # ------------------------------------------------------------------
     # Per-cycle interface
     # ------------------------------------------------------------------
-    def receive(self, port: int, flit: Flit) -> None:
-        """A flit arrives on input ``port`` (from a link or an NI)."""
-        self.inputs[port].push(flit)
+    def receive(self, port: int, flit: Flit, now: int = 0) -> None:
+        """A flit arrives on input ``port`` (from a link or an NI).
+
+        ``now`` is accepted (and ignored) so the network can bind this
+        method directly as a link delivery sink via ``partial``.  The
+        body is :meth:`FlitBuffer.push` inlined — this is one of the
+        two per-flit-hop hot spots of the whole simulator.
+        """
+        buf = self.inputs[port]
+        fifo = buf._fifo
+        if len(fifo) >= buf.capacity:
+            raise BufferFullError(
+                f"push into full buffer {buf.name or id(buf)} "
+                f"(capacity {buf.capacity})"
+            )
+        fifo.append(flit)
+        counts = buf._pid_counts
+        if counts is not None:
+            pid = flit.packet.pid
+            counts[pid] = counts.get(pid, 0) + 1
+        buf.total_pushes += 1
+        if len(fifo) > buf.peak_occupancy:
+            buf.peak_occupancy = len(fifo)
+        self._buffered += 1
+        if self._buffered == 1 and self._wake is not None:
+            self._wake()
 
     def credit(self, port: int, count: int = 1) -> None:
         """Downstream freed ``count`` buffer slots behind output ``port``."""
@@ -205,10 +266,7 @@ class Switch:
                     f" {buf.capacity}-flit buffers but received a"
                     f" {length}-flit packet"
                 )
-            buffered = sum(
-                1 for f in buf if f.packet.pid == head.packet.pid
-            )
-            if buffered < length:
+            if buf.packet_flit_count(head.packet.pid) < length:
                 return None  # wait for the full packet
         route = self.routing.output_port(self.switch_id, head)
         self._input_route[input_port] = route
@@ -221,30 +279,91 @@ class Switch:
         flit leaves per output port and at most one flit leaves per
         input port.
         """
-        inputs = self.inputs
         # Fast idle path: nothing buffered, nothing to do.
-        for buf in inputs:
-            if buf._fifo:
-                break
-        else:
+        if not self._buffered:
             return 0
-        requests: Dict[int, List[int]] = {}
-        blocked_heads: List[Flit] = []
+        inputs = self.inputs
+        outputs = self._outputs
+        routes = self._input_route
+        pop_hooks = self._input_pop_hooks
+        requests = self._requests
+        blocked_heads = self._blocked_heads
+        if requests:
+            requests.clear()
+        if blocked_heads:
+            blocked_heads.clear()
+        moved = 0
         for i, buf in enumerate(inputs):
-            if not buf._fifo:
+            fifo = buf._fifo
+            if not fifo:
                 continue
-            desired = self._desired_output(i)
+            # Mid-packet flits follow the channel the HEAD opened; only
+            # unrouted heads take the full routing/S&F slow path.
+            desired = routes[i]
             if desired is None:
-                continue
-            out = self._outputs[desired]
-            assert out is not None
-            head = buf._fifo[0]
-            if out.lock is not None and out.lock != i:
+                desired = self._desired_output(i)
+                if desired is None:
+                    continue
+            out = outputs[desired]
+            lock = out.lock
+            if lock == i:
+                flit = fifo[0]
+                if not flit.is_tail:
+                    # Streaming fast path: a mid-packet flit on its
+                    # exclusively locked channel cannot face
+                    # arbitration, and moving it changes no state any
+                    # other input's scan decision depends on.  (Tail
+                    # flits release the lock, which must stay visible
+                    # only after the scan, so they take the slow path.)
+                    if out.infinite_credits:
+                        pass
+                    elif out.credits > 0:
+                        out.credits -= 1
+                    else:
+                        blocked_heads.append(flit)
+                        self.credit_stall_cycles += 1
+                        continue
+                    # FlitBuffer.pop inlined (the other per-hop hot
+                    # spot); the buffer is non-empty by construction.
+                    fifo.popleft()
+                    buf.total_pops += 1
+                    counts = buf._pid_counts
+                    if counts is not None:
+                        pid = flit.packet.pid
+                        remaining = counts[pid] - 1
+                        if remaining:
+                            counts[pid] = remaining
+                        else:
+                            del counts[pid]
+                    self._buffered -= 1
+                    hook = pop_hooks[i]
+                    if hook is not None:
+                        hook(now)
+                    link = out.link
+                    if link is None:
+                        out.send(flit, now)
+                    else:
+                        # Link.send inlined: the third per-hop hot spot.
+                        if link._last_send_cycle == now:
+                            out.send(flit, now)  # raises the protocol error
+                        link._last_send_cycle = now
+                        link._in_flight.append((now + link.delay, flit))
+                        if not link.flit_armed and (
+                            link.on_flit_scheduled is not None
+                        ):
+                            link.flit_armed = True
+                            link.on_flit_scheduled(now + link.delay)
+                        link.flits_carried += 1
+                        link.busy_cycles += 1
+                    out.flits_sent += 1
+                    moved += 1
+                    continue
+            elif lock is not None:
                 # Channel held by another packet's wormhole.
-                blocked_heads.append(head)
+                blocked_heads.append(fifo[0])
                 continue
             if not out.infinite_credits and out.credits <= 0:
-                blocked_heads.append(head)
+                blocked_heads.append(fifo[0])
                 self.credit_stall_cycles += 1
                 continue
             if desired in requests:
@@ -252,42 +371,41 @@ class Switch:
             else:
                 requests[desired] = [i]
 
-        moved = 0
-        for port, reqs in requests.items():
-            out = self._outputs[port]
-            assert out is not None
-            if out.lock is not None:
-                # The locked input has exclusive use of this channel.
-                winner = out.lock
-            else:
-                granted = self.arbiters[port].grant(reqs)
-                assert granted is not None
-                winner = granted
-            flit = self.inputs[winner].pop()
-            hook = self._input_pop_hooks[winner]
-            if hook is not None:
-                hook(now)
-            out.send(flit, now)
-            out.flits_sent += 1
-            if not out.infinite_credits:
-                out.credits -= 1
-            moved += 1
-            # Wormhole channel state.
-            if flit.is_tail:
-                out.lock = None
-                self._input_route[winner] = None
-            elif flit.is_head:
-                out.lock = winner
-            # Losers of this arbitration stalled.
-            for loser in reqs:
-                if loser != winner:
-                    head = self.inputs[loser].head()
-                    if head is not None:
-                        blocked_heads.append(head)
+        if requests:
+            for port, reqs in requests.items():
+                out = outputs[port]
+                if out.lock is not None:
+                    # The locked input has exclusive use of this channel.
+                    winner = out.lock
+                else:
+                    winner = self.arbiters[port].grant(reqs)
+                flit = inputs[winner].pop()
+                self._buffered -= 1
+                hook = pop_hooks[winner]
+                if hook is not None:
+                    hook(now)
+                out.send(flit, now)
+                out.flits_sent += 1
+                if not out.infinite_credits:
+                    out.credits -= 1
+                moved += 1
+                # Wormhole channel state.
+                if flit.is_tail:
+                    out.lock = None
+                    routes[winner] = None
+                elif flit.is_head:
+                    out.lock = winner
+                # Losers of this arbitration stalled.
+                for loser in reqs:
+                    if loser != winner:
+                        head = inputs[loser].head()
+                        if head is not None:
+                            blocked_heads.append(head)
 
-        for head in blocked_heads:
-            head.stall_cycles += 1
-        self.blocked_flit_cycles += len(blocked_heads)
+        if blocked_heads:
+            for head in blocked_heads:
+                head.stall_cycles += 1
+            self.blocked_flit_cycles += len(blocked_heads)
         self.flits_forwarded += moved
         return moved
 
@@ -302,7 +420,7 @@ class Switch:
     @property
     def buffered_flits(self) -> int:
         """Flits currently sitting in this switch's input buffers."""
-        return sum(len(buf) for buf in self.inputs)
+        return self._buffered
 
     def output_credits(self, port: int) -> Optional[int]:
         """Remaining credits of output ``port`` (None = infinite)."""

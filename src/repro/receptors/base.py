@@ -8,7 +8,7 @@ receptor families the paper describes.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.noc.flit import Flit, Packet
 from repro.noc.ni import ReassemblyBuffer
@@ -31,6 +31,9 @@ class TrafficReceptor:
         self.first_cycle: Optional[int] = None
         self.last_cycle: Optional[int] = None
         self.enabled = True
+        # Platform hook: packet-count delta (positive on reception,
+        # negative on reset) keeping aggregate progress counters O(1).
+        self.on_count: Optional[Callable[[int], None]] = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -52,6 +55,8 @@ class TrafficReceptor:
             return
         self.packets_received += 1
         self.flits_received += packet.length
+        if self.on_count is not None:
+            self.on_count(1)
         if self.first_cycle is None:
             self.first_cycle = now
         self.last_cycle = now
@@ -81,6 +86,8 @@ class TrafficReceptor:
         return self.flits_received / self.running_time
 
     def reset(self) -> None:
+        if self.on_count is not None and self.packets_received:
+            self.on_count(-self.packets_received)
         self.packets_received = 0
         self.flits_received = 0
         self.first_cycle = None

@@ -129,6 +129,20 @@ class TrafficModel:
         """Emission for cycle ``now``: ``(length, dst, burst_id)`` or None."""
         raise NotImplementedError
 
+    def next_emission_cycle(self, now: int) -> Optional[int]:
+        """Earliest cycle ``>= now`` at which :meth:`poll` may emit.
+
+        ``None`` means the process will never emit again (an exhausted
+        trace).  The contract powering idle fast-forward: for every
+        cycle ``t`` with ``now <= t < next_emission_cycle(now)``,
+        ``poll(t)`` would return ``None`` *without side effects* (no
+        RNG draws, no state changes), so a quiescent platform may jump
+        straight to the returned cycle.  The base implementation
+        conservatively returns ``now`` (poll every cycle), which
+        disables fast-forward for models that don't override it.
+        """
+        return now
+
     def expected_load(self) -> Optional[float]:
         """Long-run injected flits per cycle, when analytically known.
 

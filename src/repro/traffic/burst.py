@@ -94,6 +94,11 @@ class BurstTraffic(TrafficModel):
         assert self._burst_dst is not None
         return (self.length, self._burst_dst, self._burst_id)
 
+    def next_emission_cycle(self, now: int) -> Optional[int]:
+        # The chain must be polled at every slot boundary (each poll
+        # draws the transition), but never between slots.
+        return max(now, self._next_slot)
+
     @property
     def stationary_on(self) -> float:
         """Long-run fraction of slots spent in the ON state."""

@@ -13,12 +13,15 @@ memory-mapped configuration interface.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.noc.flit import Packet
 from repro.noc.ni import NetworkInterface
 from repro.traffic.base import TrafficModel
 from repro.traffic.trace import Trace, TraceRecord
+
+#: Sentinel poll cycle for generators that can never act again.
+NEVER_POLL = 1 << 62
 
 
 class TrafficGenerator:
@@ -69,6 +72,17 @@ class TrafficGenerator:
         self.max_packets = max_packets
         self.queue_limit = queue_limit
         self.enabled = True
+        # Cycle before which the model is known silent, cached from
+        # next_emission_cycle() so idle polls cost one comparison.
+        self._silent_until = 0
+        # Platform hook: called with a packet-count delta so aggregate
+        # progress counters stay O(1) (positive on send, negative on
+        # reset).
+        self.on_count: Optional[Callable[[int], None]] = None
+        # Platform hook: invalidates cached poll schedules whenever a
+        # control operation (enable, reset, budget change) could make
+        # this generator emit earlier than previously computed.
+        self.on_wake: Optional[Callable[[], None]] = None
         # Statistics.
         self.packets_sent = 0
         self.flits_sent = 0
@@ -80,18 +94,28 @@ class TrafficGenerator:
     # ------------------------------------------------------------------
     def enable(self) -> None:
         self.enabled = True
+        self.wake()
 
     def disable(self) -> None:
         self.enabled = False
 
+    def wake(self) -> None:
+        """Signal that this generator's poll schedule may have changed."""
+        self._silent_until = 0
+        if self.on_wake is not None:
+            self.on_wake()
+
     def reset(self, seed: Optional[int] = None) -> None:
         """Rewind the model and clear the run counters."""
         self.model.reset(seed)
+        if self.on_count is not None and self.packets_sent:
+            self.on_count(-self.packets_sent)
         self.packets_sent = 0
         self.flits_sent = 0
         self.backpressure_cycles = 0
         if self._records is not None:
             self._records = []
+        self.wake()
 
     @property
     def done(self) -> bool:
@@ -99,6 +123,33 @@ class TrafficGenerator:
         if self.max_packets is None:
             return False
         return self.packets_sent >= self.max_packets
+
+    def next_emission_cycle(self, now: int) -> Optional[int]:
+        """Earliest cycle ``>= now`` this generator may emit, else None.
+
+        Mirrors :meth:`TrafficModel.next_emission_cycle` with the
+        generator-level stop conditions folded in; the platform's idle
+        fast-forward takes the minimum over all generators.
+        """
+        if not self.enabled or self.done:
+            return None
+        return self.model.next_emission_cycle(now)
+
+    def next_poll_cycle(self, after: int) -> int:
+        """Earliest cycle ``>= after`` at which :meth:`step` could do
+        anything observable — emit a packet or count a backpressure
+        cycle.  The platform skips whole generator rounds until the
+        minimum over all generators, which keeps idle polling off the
+        hot path while preserving every statistic bit-for-bit.
+        """
+        if not self.enabled or self.done:
+            return NEVER_POLL
+        if self.ni.pending_flits >= self.queue_limit:
+            return after  # backpressure accounting is per-cycle
+        t = self.model.next_emission_cycle(after)
+        if t is None:
+            return NEVER_POLL
+        return t if t > after else after
 
     # ------------------------------------------------------------------
     # Per-cycle interface
@@ -110,8 +161,13 @@ class TrafficGenerator:
         if self.ni.pending_flits >= self.queue_limit:
             self.backpressure_cycles += 1
             return None
+        if now < self._silent_until:
+            return None  # model contractually silent until then
         emission = self.model.poll(now)
         if emission is None:
+            nxt = self.model.next_emission_cycle(now + 1)
+            # None = never again; park the cache past any realistic run.
+            self._silent_until = NEVER_POLL if nxt is None else nxt
             return None
         length, dst, burst_id = emission
         packet = Packet(
@@ -124,6 +180,8 @@ class TrafficGenerator:
         self.ni.offer(packet)
         self.packets_sent += 1
         self.flits_sent += length
+        if self.on_count is not None:
+            self.on_count(1)
         if self._records is not None:
             self._records.append(TraceRecord(now, dst, length, burst_id))
         return packet

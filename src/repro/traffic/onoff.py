@@ -79,6 +79,9 @@ class OnOffTraffic(TrafficModel):
             self._next_emission = now + self.length
         return (self.length, dst, burst_id)
 
+    def next_emission_cycle(self, now: int) -> Optional[int]:
+        return max(now, self._next_emission)
+
     @property
     def burst_cycles(self) -> int:
         """Length of one on+off period in cycles."""

@@ -62,6 +62,13 @@ class PoissonTraffic(TrafficModel):
         dst = self.destination.next_destination(self.rng)
         return (self.length, dst, None)
 
+    def next_emission_cycle(self, now: int) -> Optional[int]:
+        # Until the first poll draws the initial gap there is no
+        # schedule yet; demand a poll at ``now``.
+        if self._next_emission is None:
+            return now
+        return max(now, self._next_emission)
+
     def expected_load(self) -> Optional[float]:
         return min(1.0, self.rate * self.length)
 

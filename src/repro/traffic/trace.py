@@ -110,6 +110,11 @@ class TraceTraffic(TrafficModel):
         self._cursor += 1
         return (record.length, record.dst, record.burst_id)
 
+    def next_emission_cycle(self, now: int) -> Optional[int]:
+        if self._cursor >= len(self.trace.records):
+            return None  # trace replayed to the end; never emits again
+        return max(now, self.trace.records[self._cursor].cycle)
+
     @property
     def exhausted(self) -> bool:
         return self._cursor >= len(self.trace.records)

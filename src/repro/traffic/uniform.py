@@ -71,6 +71,9 @@ class UniformTraffic(TrafficModel):
         dst = self.destination.next_destination(self.rng)
         return (length, dst, None)
 
+    def next_emission_cycle(self, now: int) -> Optional[int]:
+        return max(now, self._next_emission)
+
     def expected_load(self) -> Optional[float]:
         mean_length = sum(self._length_range) / 2.0
         mean_interval = sum(self._interval_range) / 2.0

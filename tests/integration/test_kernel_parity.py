@@ -1,0 +1,255 @@
+"""Event-driven kernel parity: `Network.step` vs `Network.step_reference`.
+
+The event-driven kernel (active sets + armed links + idle fast-forward
++ incremental counters) must be *bit-identical* to the original
+scan-everything dataflow, which survives as ``step_reference``.  These
+tests co-simulate both paths on every traffic family / switching mode /
+routing case the integration suite exercises and compare cycle counts,
+per-packet latency statistics, congestion statistics and every
+component-level counter.
+"""
+
+import itertools
+
+import pytest
+
+import repro.noc.flit as flit_mod
+from repro.core.config import paper_platform_config
+from repro.core.engine import EmulationEngine
+from repro.core.platform import build_platform
+from repro.receptors.tracedriven import TraceDrivenReceptor
+
+
+def fresh_platform(make_config):
+    """Build a platform with the global packet-id counter rewound.
+
+    Packet ids seed the multipath routing hash, so both co-simulated
+    platforms must allocate identical pid sequences; that also means
+    the two runs must execute sequentially, not interleaved.
+    """
+    flit_mod._packet_ids = itertools.count()
+    return build_platform(make_config())
+
+
+def snapshot(platform):
+    """Every observable statistic of a platform, for exact comparison."""
+    net = platform.network
+    snap = {
+        "cycle": net.cycle,
+        "packets_sent": platform.packets_sent,
+        "packets_received": platform.packets_received,
+        "in_flight": net.in_flight_flits,
+        "mean_latency": platform.mean_latency(),
+        "max_latency": platform.max_latency(),
+        "congestion_rate": platform.congestion_rate(),
+        "blocked": net.total_blocked_flit_cycles,
+        "link_loads": net.link_loads(),
+        "switches": [
+            (
+                sw.flits_forwarded,
+                sw.blocked_flit_cycles,
+                sw.credit_stall_cycles,
+                sw.buffered_flits,
+            )
+            for sw in net.switches
+        ],
+        "links": [
+            (link.flits_carried, link.busy_cycles, link.occupancy)
+            for link in net.links
+        ],
+        "nis": [
+            (
+                ni.offered_packets,
+                ni.injected_flits,
+                ni.injected_packets,
+                ni.stall_cycles,
+                ni.pending_flits,
+            )
+            for ni in net.nis
+        ],
+        "rx": [
+            (rx.received_flits, rx.received_packets, rx.partial_packets)
+            for rx in net.rx
+        ],
+        "receptors": [
+            (r.packets_received, r.flits_received, r.first_cycle, r.last_cycle)
+            for r in platform.receptors
+        ],
+        "generators": [
+            (g.packets_sent, g.flits_sent, g.backpressure_cycles)
+            for g in platform.generators
+        ],
+    }
+    for receptor in platform.receptors:
+        if isinstance(receptor, TraceDrivenReceptor):
+            lat = receptor.latency
+            snap[f"latency{receptor.node}"] = (
+                lat.count,
+                lat.total_latency,
+                lat.min_latency,
+                lat.max_latency,
+                lat.total_queueing,
+                lat.total_network,
+            )
+            snap[f"hist{receptor.node}"] = tuple(lat.histogram.counts)
+    return snap
+
+
+def cosimulate(make_config, cycles):
+    """Run the same config through both step paths; return snapshots."""
+    event = fresh_platform(make_config)
+    for _ in range(cycles):
+        event.step()
+    reference = fresh_platform(make_config)
+    for _ in range(cycles):
+        reference.step_reference()
+    # The incremental in-flight counter must agree with a full scan on
+    # both paths at every comparison point.
+    for platform in (event, reference):
+        net = platform.network
+        assert net.in_flight_flits == net.scan_in_flight_flits()
+    return snapshot(event), snapshot(reference)
+
+
+SCENARIOS = [
+    dict(traffic="uniform", max_packets=300),
+    dict(traffic="uniform", max_packets=300, load=0.9),
+    dict(traffic="burst", max_packets=300),
+    dict(traffic="poisson", max_packets=300, load=0.05),
+    dict(traffic="onoff", max_packets=300, load=0.1),
+    dict(
+        traffic="trace",
+        max_packets=None,
+        traffic_params={"n_bursts": 24, "packets_per_burst": 6},
+    ),
+    dict(traffic="uniform", max_packets=300, routing_case="disjoint"),
+    dict(traffic="uniform", max_packets=300, routing_case="split"),
+]
+
+
+@pytest.mark.parametrize(
+    "kwargs", SCENARIOS, ids=lambda k: f"{k.get('traffic')}-"
+    f"{k.get('routing_case', 'overlap')}-{k.get('load', 'def')}"
+)
+def test_event_kernel_matches_reference(kwargs):
+    event, reference = cosimulate(
+        lambda: paper_platform_config(**kwargs), cycles=6000
+    )
+    assert event == reference
+
+
+def test_parity_under_store_and_forward():
+    def config():
+        cfg = paper_platform_config(traffic="burst", max_packets=200, length=4)
+        cfg.switching = "store_and_forward"
+        return cfg
+
+    event, reference = cosimulate(config, cycles=5000)
+    assert event == reference
+
+
+def test_parity_with_buffer_sampling():
+    """sample_buffers touches every switch every cycle on both paths."""
+
+    def config():
+        cfg = paper_platform_config(traffic="uniform", max_packets=150)
+        cfg.sample_buffers = True
+        return cfg
+
+    event = fresh_platform(config)
+    for _ in range(4000):
+        event.step()
+    reference = fresh_platform(config)
+    for _ in range(4000):
+        reference.step_reference()
+    occ_e = [
+        (buf.mean_occupancy, buf.full_fraction)
+        for sw in event.network.switches
+        for buf in sw.inputs
+    ]
+    occ_r = [
+        (buf.mean_occupancy, buf.full_fraction)
+        for sw in reference.network.switches
+        for buf in sw.inputs
+    ]
+    assert occ_e == occ_r
+    assert snapshot(event) == snapshot(reference)
+
+
+def test_mixing_paths_mid_run_is_consistent():
+    """Alternating step/step_reference on one network stays coherent."""
+    config = lambda: paper_platform_config(traffic="uniform", max_packets=200)
+    platform = fresh_platform(config)
+    for k in range(5000):
+        if (k // 64) % 2:
+            platform.step_reference()
+        else:
+            platform.step()
+    oracle = fresh_platform(config)
+    for _ in range(5000):
+        oracle.step_reference()
+    assert snapshot(platform) == snapshot(oracle)
+
+
+class TestFastForwardParity:
+    """Idle fast-forward must be invisible in every result."""
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(traffic="poisson", load=0.02, max_packets=150),
+            dict(traffic="onoff", load=0.05, max_packets=150),
+            dict(traffic="burst", load=0.1, max_packets=150),
+            dict(
+                traffic="trace",
+                max_packets=None,
+                traffic_params={
+                    "n_bursts": 12,
+                    "packets_per_burst": 4,
+                    "gap": 900,
+                },
+            ),
+        ],
+        ids=["poisson", "onoff", "burst", "trace"],
+    )
+    def test_engine_results_identical_with_and_without_ff(self, kwargs):
+        with_ff = EmulationEngine(
+            build_platform(paper_platform_config(**kwargs))
+        ).run(fast_forward=True)
+        without = EmulationEngine(
+            build_platform(paper_platform_config(**kwargs))
+        ).run(fast_forward=False)
+        assert with_ff.cycles == without.cycles
+        assert with_ff.packets_sent == without.packets_sent
+        assert with_ff.packets_received == without.packets_received
+        assert with_ff.completed and without.completed
+
+    def test_ff_actually_skips_idle_cycles(self):
+        platform = build_platform(
+            paper_platform_config(
+                traffic="onoff", load=0.02, max_packets=100
+            )
+        )
+        stepped = 0
+        network = platform.network
+        original = network.step
+
+        def counting_step():
+            nonlocal stepped
+            stepped += 1
+            return original()
+
+        network.step = counting_step
+        result = EmulationEngine(platform).run()
+        assert result.completed
+        # The vast idle majority of emulated time was never stepped.
+        assert stepped < result.cycles / 2
+
+    def test_max_cycles_limit_respected_across_jumps(self):
+        platform = build_platform(
+            paper_platform_config(
+                traffic="poisson", load=0.001, max_packets=10_000
+            )
+        )
+        result = EmulationEngine(platform).run(max_cycles=5000)
+        assert result.cycles == 5000

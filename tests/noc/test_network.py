@@ -166,6 +166,30 @@ class TestMonitoring:
         assert net.total_blocked_flit_cycles == 0
         assert all(l.flits_carried == 0 for l in net.links)
 
+    def test_link_loads_use_post_reset_window(self):
+        """A mid-run stats reset opens a fresh utilisation window: the
+        busy fraction is measured against cycles since the reset, not
+        diluted over the whole run (which once made a saturated link
+        read as nearly idle after a long pre-reset warm-up)."""
+        net, _ = small_network()
+        # Long idle warm-up, then reset, then a busy measurement phase.
+        net.run(1000)
+        net.reset_stats()
+        reset_cycle = net.cycle
+        for _ in range(10):
+            net.offer(Packet(src=0, dst=3, length=4))
+        net.drain()
+        loads = net.link_loads()
+        window = net.cycle - reset_cycle
+        busiest = max(loads.values())
+        carried = max(l.flits_carried for l in net.links)
+        assert carried > 0
+        # 40 flits crossed the hot link inside the post-reset window.
+        assert busiest == pytest.approx(carried / window)
+        # The old bug: dividing by the full run length would cap the
+        # reading at roughly half this value.
+        assert busiest > carried / net.cycle
+
     def test_buffer_sampling_toggle(self):
         net, _ = small_network(sample_buffers=True)
         net.offer(Packet(src=0, dst=3, length=2))
