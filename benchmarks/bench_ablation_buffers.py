@@ -7,39 +7,46 @@ and each extra flit of depth costs slices in the FPGA, so the bench
 also prices every point via the synthesis model (the trade-off the
 platform exists to explore without re-synthesis... of the *real*
 hardware; the model here re-prices instantly).
+
+The depth axis is a one-line :func:`Sweep.grid` through the
+experiment runner; congestion/latency come from the shared
+``ScenarioResult`` record and the FPGA price from synthesising each
+spec's elaborated config (one synthesis per depth — depth is a
+hardware parameter).
 """
 
-import pytest
-
 from benchmarks.conftest import emit, format_table
-from repro.core.config import paper_platform_config
-from repro.core.engine import EmulationEngine
-from repro.core.platform import build_platform
+from repro.experiments import ScenarioSpec, Sweep, SweepRunner
 from repro.fpga.synthesis import synthesize
 
 DEPTHS = (1, 2, 4, 8, 16)
 PACKETS = 1000
 
+BASE = ScenarioSpec(traffic="burst", packets=PACKETS, seed=4)
+
+
+def run_depths(depths):
+    results = SweepRunner().run(Sweep.grid(BASE, buffer_depth=depths))
+    out = {}
+    for depth, result in zip(depths, results):
+        metrics = result.metrics
+        assert metrics["completed"]
+        synth = synthesize(result.spec.to_platform_config())
+        out[depth] = {
+            "congestion": metrics["congestion_rate"],
+            "latency": metrics["mean_latency"],
+            "cycles": metrics["cycles"],
+            "slices": synth.total_slices,
+        }
+    return out
+
 
 def run_depth(depth: int):
-    cfg = paper_platform_config(
-        traffic="burst", max_packets=PACKETS, buffer_depth=depth,
-        seed=4,
-    )
-    platform = build_platform(cfg)
-    result = EmulationEngine(platform).run()
-    assert result.completed
-    synth = synthesize(cfg)
-    return {
-        "congestion": platform.congestion_rate(),
-        "latency": platform.mean_latency(),
-        "cycles": result.cycles,
-        "slices": synth.total_slices,
-    }
+    return run_depths((depth,))[depth]
 
 
 def test_ablation_buffer_depth(benchmark):
-    results = {depth: run_depth(depth) for depth in DEPTHS}
+    results = run_depths(DEPTHS)
     rows = [
         (
             depth,

@@ -12,49 +12,55 @@ accepted throughput flattens at the link ceiling and latency jumps to
 its queue-bound maximum.  The paper's choice of 45% per TG (90% link
 load) sits just under this knee — this bench shows the knee exists
 exactly where that reading implies.
+
+The sweep itself is declared through ``repro.experiments``: one
+:func:`Sweep.grid` over the load axis, executed by the
+:class:`SweepRunner` (the bench is also an in-tree example of porting
+a hand-rolled loop onto the runner — the metric readout comes from the
+shared ``ScenarioResult`` record instead of ad-hoc receptor walks).
 """
 
 import pytest
 
 from benchmarks.conftest import emit, format_table
-from repro.core.config import paper_platform_config
-from repro.core.engine import EmulationEngine
-from repro.core.platform import build_platform
+from repro.experiments import ScenarioSpec, Sweep, SweepRunner
 
 LOADS = (0.15, 0.30, 0.45, 0.55, 0.70, 0.90)
 PACKETS = 1200
 LENGTH = 8
 
+BASE = ScenarioSpec(
+    traffic="uniform",
+    length=LENGTH,
+    packets=PACKETS,
+    routing="overlap",
+    seed=7,
+)
+
+#: Generators on the paper platform (normalises accepted throughput).
+N_TGS = 4
+
+
+def run_loads(loads):
+    results = SweepRunner().run(Sweep.grid(BASE, load=loads))
+    series = {}
+    for spec, result in zip(loads, results):
+        metrics = result.metrics
+        assert metrics["completed"]
+        series[spec] = {
+            "accepted": metrics["accepted_flits_per_cycle"] / N_TGS,
+            "latency": metrics["mean_latency"],
+            "congestion": metrics["congestion_rate"],
+        }
+    return series
+
 
 def run_load(load: float):
-    platform = build_platform(
-        paper_platform_config(
-            traffic="uniform",
-            load=load,
-            length=LENGTH,
-            max_packets=PACKETS,
-            routing_case="overlap",
-            seed=7,
-        )
-    )
-    result = EmulationEngine(platform).run()
-    assert result.completed
-    # Accepted throughput: flits per cycle over the whole run,
-    # platform-wide, normalised per generator.
-    accepted = (
-        sum(r.flits_received for r in platform.receptors)
-        / result.cycles
-        / len(platform.generators)
-    )
-    return {
-        "accepted": accepted,
-        "latency": platform.mean_latency(),
-        "congestion": platform.congestion_rate(),
-    }
+    return run_loads((load,))[load]
 
 
 def test_saturation_sweep(benchmark):
-    series = {load: run_load(load) for load in LOADS}
+    series = run_loads(LOADS)
     rows = [
         (
             f"{load:.2f}",
@@ -102,9 +108,8 @@ def test_saturation_knee_position(benchmark):
     two-flows-per-link reading of the paper's setup."""
 
     def measure():
-        below = run_load(0.45)
-        above = run_load(0.55)
-        return below, above
+        series = run_loads((0.45, 0.55))
+        return series[0.45], series[0.55]
 
     below, above = benchmark.pedantic(measure, rounds=1, iterations=1)
     # 45% is still (nearly) loss-free in throughput terms...

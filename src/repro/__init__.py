@@ -38,6 +38,14 @@ from repro.core import (
     build_platform,
     paper_platform_config,
 )
+from repro.experiments import (
+    ResultCache,
+    ScenarioResult,
+    ScenarioSpec,
+    Sweep,
+    SweepRunner,
+    run_sweep,
+)
 from repro.noc import (
     Network,
     Packet,
@@ -73,6 +81,11 @@ __all__ = [
     "PlatformConfig",
     "PoissonTraffic",
     "Processor",
+    "ResultCache",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "Sweep",
+    "SweepRunner",
     "Switch",
     "SwitchConfig",
     "SwitchingMode",
@@ -85,5 +98,6 @@ __all__ = [
     "build_platform",
     "paper_platform_config",
     "paper_topology",
+    "run_sweep",
     "__version__",
 ]

@@ -1,4 +1,9 @@
-"""``python -m repro`` entry point."""
+"""``python -m repro`` entry point.
+
+Subcommands: ``run`` (one emulation), ``synth`` (FPGA utilisation),
+``speed`` (engine comparison), ``sweep`` (packets-per-burst series)
+and ``batch`` (declarative scenario sweeps via ``repro.experiments``).
+"""
 
 from repro.cli import main
 

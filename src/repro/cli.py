@@ -4,30 +4,52 @@ The hardware platform is driven from a host PC; this CLI is that
 host-side tooling for the Python reproduction::
 
     python -m repro run    --traffic burst --packets 2000
+    python -m repro run    --topology mesh:4:4 --traffic poisson
     python -m repro synth  --receptors stochastic
     python -m repro speed  --packets 500
     python -m repro sweep  --metric latency
+    python -m repro batch  sweep.json --workers 4 --group-by load
 
 ``run`` executes one emulation through the full six-step flow and
 prints the monitor's final report; ``synth`` prints the Table 1-style
 utilisation report only; ``speed`` measures the three engines and
 prints the Table 2-style comparison; ``sweep`` regenerates the
-packets-per-burst series of the trace-driven figures.
+packets-per-burst series of the trace-driven figures; ``batch``
+expands a JSON sweep document into scenarios and runs them through the
+experiment runner (parallel workers, on-disk result cache, aggregated
+report — see ``repro.experiments``).
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import List, Optional
 
 from repro.core.config import paper_platform_config
 from repro.core.engine import EmulationEngine
+from repro.core.errors import ConfigError
 from repro.core.flow import EmulationFlow
 from repro.core.platform import build_platform
 from repro.fpga.synthesis import synthesize
 
+#: Route cases of the 6-switch paper platform (kept first in the
+#: --routing choices so help output leads with the paper's cases).
+_PAPER_ROUTING = ("overlap", "disjoint", "split")
+#: Generic table routings usable on any factory topology.
+_TABLE_ROUTING = ("auto", "shortest", "updown", "multipath", "multipath:3")
+
 
 def _add_platform_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--topology",
+        default="paper",
+        help=(
+            "platform topology: 'paper' (6-switch platform) or a"
+            " factory spec like mesh:3:3, torus:4:4, ring:6, star:4,"
+            " spidergon:8, tree:2:3, full:4 (default: paper)"
+        ),
+    )
     parser.add_argument(
         "--traffic",
         default="uniform",
@@ -49,8 +71,12 @@ def _add_platform_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--routing",
         default="overlap",
-        choices=("overlap", "disjoint", "split"),
-        help="paper route case (default: overlap)",
+        choices=_PAPER_ROUTING + _TABLE_ROUTING,
+        help=(
+            "paper route case (paper topology) or table routing for"
+            " factory topologies (default: overlap; non-paper"
+            " topologies fall back to a deadlock-free default)"
+        ),
     )
     parser.add_argument(
         "--depth",
@@ -82,16 +108,64 @@ def _config_from(args: argparse.Namespace, max_packets: Optional[int]):
     )
 
 
+def _scenario_from(
+    args: argparse.Namespace, max_packets: Optional[int]
+):
+    """A ScenarioSpec mirroring the platform options (generic path)."""
+    from repro.experiments import ScenarioSpec
+
+    routing = args.routing
+    if args.topology != "paper" and routing in _PAPER_ROUTING:
+        # The paper route cases only exist on the paper platform; any
+        # other fabric takes its deadlock-free default instead.
+        routing = "auto"
+    if routing == "multipath":
+        routing = "multipath:2"
+    return ScenarioSpec(
+        topology=args.topology,
+        routing=routing,
+        buffer_depth=args.depth,
+        traffic=args.traffic,
+        load=args.load,
+        length=args.length,
+        packets=max_packets,
+        receptors=args.receptors,
+        seed=args.seed,
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    config = _config_from(args, args.packets)
-    flow = EmulationFlow()
-    report = flow.run(config)
-    print(report.report_text)
+    if args.topology == "paper" and args.routing in _PAPER_ROUTING:
+        # The paper platform keeps its historical path (six-step flow,
+        # seed registers loaded as seed+i) so outputs stay comparable
+        # with the figures.
+        config = _config_from(args, args.packets)
+        flow = EmulationFlow()
+        report = flow.run(config)
+        print(report.report_text)
+        return 0
+    from repro.core.monitor import Monitor
+
+    try:
+        spec = _scenario_from(args, args.packets)
+        platform = build_platform(spec.to_platform_config())
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = EmulationEngine(platform).run()
+    print(Monitor(platform).final_report(result))
     return 0
 
 
 def cmd_synth(args: argparse.Namespace) -> int:
-    config = _config_from(args, None)
+    if args.topology == "paper" and args.routing in _PAPER_ROUTING:
+        config = _config_from(args, None)
+    else:
+        try:
+            config = _scenario_from(args, None).to_platform_config()
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     report = synthesize(config, auto_part=args.auto_part)
     print(report.render())
     return 0 if report.fits else 1
@@ -130,6 +204,96 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         else:
             value = f"{platform.congestion_rate():.4f}"
         print(f"{ppb:>13}  {value}")
+    return 0
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        DEFAULT_CACHE_DIR,
+        ResultCache,
+        Sweep,
+        SweepRunner,
+        aggregate,
+        render_table,
+        rows_from_results,
+        to_csv,
+        to_json,
+    )
+    from repro.experiments.report import DEFAULT_METRICS
+
+    try:
+        specs = Sweep.from_file(args.sweep_file)
+    except (OSError, ConfigError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+
+    def progress(done: int, total: int, result) -> None:
+        tag = "cached" if result.cached else "ran"
+        print(
+            f"[{done}/{total}] {tag:>6}  {result.spec.label()}",
+            file=sys.stderr,
+        )
+
+    runner = SweepRunner(
+        workers=args.workers,
+        cache=cache,
+        progress=progress if args.verbose else None,
+    )
+    try:
+        results = runner.run(specs)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    stats = runner.last_stats
+
+    metrics = (
+        [m.strip() for m in args.metrics.split(",") if m.strip()]
+        if args.metrics
+        else list(DEFAULT_METRICS)
+    )
+    rows = rows_from_results(results)
+    spec_fields = [
+        f
+        for f in rows[0]
+        if f in results[0].spec.to_dict()
+        or f.startswith("traffic_params.")
+    ]
+    varying = [
+        f
+        for f in spec_fields
+        if len({repr(r.get(f)) for r in rows}) > 1
+    ]
+    columns = ["key"] + varying + [m for m in metrics if m in rows[0]]
+    print(render_table(rows, columns=columns))
+
+    if args.group_by:
+        by = [f.strip() for f in args.group_by.split(",") if f.strip()]
+        try:
+            agg = aggregate(results, by=by, metrics=metrics)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print()
+        print(render_table(agg))
+
+    if args.csv:
+        to_csv(rows, args.csv)
+        print(f"wrote {args.csv}", file=sys.stderr)
+    if args.json:
+        to_json(rows, args.json)
+        print(f"wrote {args.json}", file=sys.stderr)
+
+    print(
+        f"\n{stats.scenarios} scenario(s): {stats.executed} executed,"
+        f" {stats.cached} cached, {stats.workers} worker(s),"
+        f" {stats.wall_seconds:.2f}s"
+        f" ({stats.scenarios_per_second:.1f} scenarios/s)",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -194,6 +358,59 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--budget", type=int, default=512)
     sweep_parser.add_argument("--seed", type=int, default=1)
     sweep_parser.set_defaults(func=cmd_sweep)
+
+    batch_parser = sub.add_parser(
+        "batch",
+        help=(
+            "run a JSON sweep document through the experiment runner"
+            " (parallel workers, result cache, aggregation)"
+        ),
+    )
+    batch_parser.add_argument(
+        "sweep_file",
+        help=(
+            "JSON sweep document: {\"base\": {spec fields},"
+            " \"grid\"|\"zip\": {axis: [values...]}}"
+        ),
+    )
+    batch_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (default: 1 = serial)",
+    )
+    batch_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory (default: .repro-cache)",
+    )
+    batch_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always execute; neither read nor write the cache",
+    )
+    batch_parser.add_argument(
+        "--group-by",
+        default=None,
+        help="comma-separated spec fields to aggregate over",
+    )
+    batch_parser.add_argument(
+        "--metrics",
+        default=None,
+        help="comma-separated metric columns (default: core set)",
+    )
+    batch_parser.add_argument(
+        "--csv", default=None, help="write per-scenario rows as CSV"
+    )
+    batch_parser.add_argument(
+        "--json", default=None, help="write per-scenario rows as JSON"
+    )
+    batch_parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print per-scenario progress to stderr",
+    )
+    batch_parser.set_defaults(func=cmd_batch)
 
     return parser
 

@@ -13,7 +13,9 @@ from repro.core.config import (
     PlatformConfig,
     TGSpec,
     TRSpec,
+    generic_platform_config,
     paper_platform_config,
+    resolve_topology_spec,
 )
 from repro.core.control import ControlDevice
 from repro.core.devices import TGDevice, TRDevice
@@ -47,5 +49,7 @@ __all__ = [
     "TRDevice",
     "TRSpec",
     "build_platform",
+    "generic_platform_config",
     "paper_platform_config",
+    "resolve_topology_spec",
 ]

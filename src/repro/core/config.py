@@ -18,24 +18,29 @@ hardware re-synthesis", Slide 13).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.errors import ConfigError
 from repro.noc.routing import (
     RoutingFunction,
     build_multipath_tables,
     build_shortest_path_tables,
+    build_updown_tables,
     paper_routing,
 )
 from repro.noc.switch import SwitchingMode
 from repro.noc.topology import (
     PAPER_TG_LOAD,
     Topology,
+    fully_connected,
     mesh,
     paper_flow_pairs,
     paper_topology,
     ring,
+    spidergon,
+    star,
     torus,
+    tree,
 )
 from repro.traffic.base import (
     DestinationChooser,
@@ -144,27 +149,7 @@ class PlatformConfig:
     # ------------------------------------------------------------------
     def resolve_topology(self) -> Topology:
         """Materialise the topology (string specs name factories)."""
-        if isinstance(self.topology, Topology):
-            return self.topology
-        spec = self.topology
-        if spec == "paper":
-            return paper_topology()
-        parts = spec.split(":")
-        kind = parts[0]
-        try:
-            if kind == "mesh":
-                w, h = int(parts[1]), int(parts[2])
-                return mesh(w, h)
-            if kind == "torus":
-                w, h = int(parts[1]), int(parts[2])
-                return torus(w, h)
-            if kind == "ring":
-                return ring(int(parts[1]))
-        except (IndexError, ValueError):
-            raise ConfigError(
-                f"malformed topology spec {spec!r}"
-            ) from None
-        raise ConfigError(f"unknown topology spec {spec!r}")
+        return resolve_topology_spec(self.topology)
 
     def resolve_routing(self, topology: Topology) -> RoutingFunction:
         """Materialise the routing function for ``topology``."""
@@ -180,6 +165,8 @@ class PlatformConfig:
             return paper_routing(topology, case=spec[len("paper_"):])
         if spec == "shortest":
             return build_shortest_path_tables(topology)
+        if spec == "updown":
+            return build_updown_tables(topology)
         if spec.startswith("multipath"):
             max_paths = 2
             if ":" in spec:
@@ -268,6 +255,61 @@ def _normalise(params: Dict[str, Any]) -> Dict[str, Any]:
         else:
             out[key] = value
     return out
+
+
+#: Topology spec grammar: ``family:dim[:dim][:nodes_per_switch]``.
+#: Every factory of ``repro.noc.topology`` is reachable, so the whole
+#: fabric family space — not just the paper's 6-switch platform — is a
+#: sweepable string parameter.
+TOPOLOGY_SPECS = (
+    "paper",
+    "mesh:W:H[:N]",
+    "torus:W:H[:N]",
+    "ring:S[:N]",
+    "star:L",
+    "spidergon:S",
+    "tree:A:D",
+    "full:S[:N]",
+)
+
+
+def resolve_topology_spec(spec: Union[str, Topology]) -> Topology:
+    """Materialise a topology spec string via the factory it names."""
+    if isinstance(spec, Topology):
+        return spec
+    if spec == "paper":
+        return paper_topology()
+    parts = spec.split(":")
+    kind, dims = parts[0], parts[1:]
+    try:
+        sizes = [int(d) for d in dims]
+        if kind == "mesh" and len(sizes) in (2, 3):
+            return mesh(*sizes)
+        if kind == "torus" and len(sizes) in (2, 3):
+            return torus(*sizes)
+        if kind == "ring" and len(sizes) in (1, 2):
+            return ring(*sizes)
+        if kind == "star" and len(sizes) == 1:
+            return star(sizes[0])
+        if kind == "spidergon" and len(sizes) == 1:
+            return spidergon(sizes[0])
+        if kind == "tree" and len(sizes) == 2:
+            return tree(*sizes)
+        if kind == "full" and len(sizes) in (1, 2):
+            return fully_connected(*sizes)
+    except ValueError as exc:
+        raise ConfigError(
+            f"malformed topology spec {spec!r}: {exc}"
+        ) from None
+    if kind in ("mesh", "torus", "ring", "star", "spidergon", "tree", "full"):
+        raise ConfigError(
+            f"malformed topology spec {spec!r}; expected one of"
+            f" {TOPOLOGY_SPECS}"
+        )
+    raise ConfigError(
+        f"unknown topology spec {spec!r}; expected one of"
+        f" {TOPOLOGY_SPECS}"
+    )
 
 
 # ----------------------------------------------------------------------
@@ -382,8 +424,40 @@ def make_traffic_model(spec: TGSpec) -> TrafficModel:
 
 
 # ----------------------------------------------------------------------
-# The paper's canonical setup (Slide 19)
+# The paper's canonical setup (Slide 19) and the generic fabric sweep
 # ----------------------------------------------------------------------
+def _tg_params_for(
+    traffic: str,
+    load: float,
+    length: int,
+    dst: Any,
+    overrides: Optional[Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Per-model default TG parameters shared by the config builders."""
+    params: Dict[str, Any] = {"dst": dst, "length": length}
+    if traffic in ("uniform", "poisson"):
+        params["load"] = load
+    elif traffic == "burst":
+        params["load"] = load
+        params["mean_burst_packets"] = 8.0
+    elif traffic == "onoff":
+        params["load"] = load
+        params["packets_per_burst"] = 8
+    elif traffic == "trace":
+        params.update(
+            n_bursts=256,
+            packets_per_burst=8,
+            flits_per_packet=length,
+            gap=round(8 * length * (1.0 - load) / load),
+        )
+        params.pop("length")
+    else:
+        raise ConfigError(f"unknown traffic family {traffic!r}")
+    if overrides:
+        params.update(overrides)
+    return params
+
+
 def paper_platform_config(
     traffic: str = "uniform",
     load: float = PAPER_TG_LOAD,
@@ -394,6 +468,7 @@ def paper_platform_config(
     buffer_depth: int = 4,
     seed: int = 1,
     traffic_params: Optional[Dict[str, Any]] = None,
+    seeds: Optional[Sequence[int]] = None,
 ) -> PlatformConfig:
     """The 6-switch / 4-TG / 4-TR experimental platform.
 
@@ -401,39 +476,26 @@ def paper_platform_config(
     uses 45%); ``routing_case`` selects the overlapping (90% hot links)
     or disjoint route case; ``traffic`` picks the model family;
     ``traffic_params`` overrides/extends the per-model defaults.
-    ``max_packets`` is the budget *per generator*.
+    ``max_packets`` is the budget *per generator*.  ``seeds`` replaces
+    the default per-TG seed registers ``seed + i`` with explicit
+    values — the experiment runner passes independently derived stream
+    seeds here (see :func:`repro.traffic.rng.derive_stream_seed`).
     """
     flows = paper_flow_pairs()
+    if seeds is not None and len(seeds) != len(flows):
+        raise ConfigError(
+            f"expected {len(flows)} TG seeds, got {len(seeds)}"
+        )
     tgs: List[TGSpec] = []
     for i, (src, dst) in enumerate(flows):
-        params: Dict[str, Any] = {"dst": dst, "length": length}
-        if traffic in ("uniform", "poisson"):
-            params["load"] = load
-        elif traffic == "burst":
-            params["load"] = load
-            params["mean_burst_packets"] = 8.0
-        elif traffic == "onoff":
-            params["load"] = load
-            params["packets_per_burst"] = 8
-        elif traffic == "trace":
-            params.update(
-                n_bursts=256,
-                packets_per_burst=8,
-                flits_per_packet=length,
-                gap=round(8 * length * (1.0 - load) / load),
-            )
-            params.pop("length")
-        else:
-            raise ConfigError(f"unknown traffic family {traffic!r}")
-        if traffic_params:
-            params.update(traffic_params)
+        params = _tg_params_for(traffic, load, length, dst, traffic_params)
         tgs.append(
             TGSpec(
                 node=src,
                 model=traffic,
                 params=params,
                 max_packets=max_packets,
-                seed=seed + i,
+                seed=seeds[i] if seeds is not None else seed + i,
             )
         )
     trs = [
@@ -447,4 +509,92 @@ def paper_platform_config(
         tgs=tgs,
         trs=trs,
         name=f"paper6_{traffic}_{routing_case}",
+    )
+
+
+def generic_platform_config(
+    topology: Union[str, Topology] = "mesh:3:3",
+    traffic: str = "uniform",
+    load: float = 0.2,
+    length: int = 8,
+    max_packets: Optional[int] = 1000,
+    routing: str = "auto",
+    receptor_kind: str = "tracedriven",
+    buffer_depth: int = 4,
+    arbitration: str = "round_robin",
+    switching: Union[str, SwitchingMode] = SwitchingMode.WORMHOLE,
+    seed: int = 1,
+    traffic_params: Optional[Dict[str, Any]] = None,
+    seeds: Optional[Sequence[int]] = None,
+    name: Optional[str] = None,
+) -> PlatformConfig:
+    """Uniform-random traffic on any factory topology.
+
+    The paper evaluates one hand-built 6-switch platform; the platform
+    compiler itself accepts arbitrary switch graphs ("switch topology",
+    Slide 6).  This builder opens that axis: every node of the resolved
+    topology hosts one traffic generator driving uniformly random
+    destinations (all other nodes) *and* one receptor, the standard
+    synthetic-workload setup for fabric comparisons.
+
+    ``routing="auto"`` picks a deadlock-free default per family: the
+    cyclic fabrics (ring, spidergon) take up*/down* tables — plain
+    BFS shortest paths close a channel-dependency cycle there — and
+    everything else takes shortest paths.  Explicit ``routing`` specs
+    (``shortest``, ``updown``, ``multipath[:k]``) override the choice;
+    the platform's channel-dependency check still vets the result.
+
+    Per-TG seed registers come from ``seeds`` when given, else from
+    :func:`repro.traffic.rng.derive_stream_seed` so generators never
+    share an LFSR stream (the additive ``seed + i`` convention of the
+    paper builder makes neighbouring seeds overlap).
+    """
+    from repro.traffic.rng import derive_stream_seed
+
+    topo = resolve_topology_spec(topology)
+    n_nodes = topo.n_nodes
+    if n_nodes < 2:
+        raise ConfigError(
+            f"topology {topo.name!r} has {n_nodes} node(s); uniform"
+            f" traffic needs at least 2"
+        )
+    if routing == "auto":
+        family = topo.name.rstrip("0123456789x")
+        routing = (
+            "updown" if family in ("ring", "spidergon") else "shortest"
+        )
+    if seeds is not None and len(seeds) != n_nodes:
+        raise ConfigError(
+            f"expected {n_nodes} TG seeds, got {len(seeds)}"
+        )
+    tgs: List[TGSpec] = []
+    trs: List[TRSpec] = []
+    for node in range(n_nodes):
+        others = [d for d in range(n_nodes) if d != node]
+        params = _tg_params_for(
+            traffic, load, length, others, traffic_params
+        )
+        tgs.append(
+            TGSpec(
+                node=node,
+                model=traffic,
+                params=params,
+                max_packets=max_packets,
+                seed=(
+                    seeds[node]
+                    if seeds is not None
+                    else derive_stream_seed(seed, node)
+                ),
+            )
+        )
+        trs.append(TRSpec(node=node, kind=receptor_kind))
+    return PlatformConfig(
+        topology=topo,
+        routing=routing,
+        buffer_depth=buffer_depth,
+        arbitration=arbitration,
+        switching=switching,
+        tgs=tgs,
+        trs=trs,
+        name=name or f"{topo.name}_{traffic}",
     )

@@ -1,0 +1,68 @@
+"""Declarative experiments: scenario specs, sweeps, caching, reports.
+
+The paper builds an FPGA platform so that NoC design-space exploration
+runs at emulation speed instead of simulation speed; this package is
+the layer that *spends* that speed.  It turns "run many
+configurations" from hand-rolled loops into data:
+
+* :mod:`~repro.experiments.spec` — :class:`ScenarioSpec`, a frozen,
+  validated, content-hashed description of one emulation, and
+  :class:`Sweep` expanders (``grid``/``zip``/``from_file``).
+* :mod:`~repro.experiments.runner` — :class:`SweepRunner`, executing
+  spec lists serially or on a process pool with bit-identical results
+  either way, yielding :class:`ScenarioResult` records.
+* :mod:`~repro.experiments.cache` — :class:`ResultCache`, an on-disk
+  store keyed by spec hash so re-runs only execute changed scenarios.
+* :mod:`~repro.experiments.report` — group-by aggregation with
+  mean/percentile statistics, CSV/JSON export, table rendering.
+
+Quickstart::
+
+    from repro.experiments import ScenarioSpec, Sweep, run_sweep
+
+    specs = Sweep.grid(
+        ScenarioSpec(traffic="burst", packets=500),
+        load=(0.15, 0.30, 0.45),
+        buffer_depth=(2, 4, 8),
+    )
+    results = run_sweep(specs, workers=4)
+
+The ``python -m repro batch <sweep.json>`` subcommand drives the same
+machinery from the command line.
+"""
+
+from repro.experiments.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.experiments.report import (
+    aggregate,
+    percentile,
+    render_table,
+    rows_from_results,
+    to_csv,
+    to_json,
+)
+from repro.experiments.runner import (
+    ScenarioResult,
+    SweepRunner,
+    SweepStats,
+    run_scenario,
+    run_sweep,
+)
+from repro.experiments.spec import ScenarioSpec, Sweep
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "Sweep",
+    "SweepRunner",
+    "SweepStats",
+    "aggregate",
+    "percentile",
+    "render_table",
+    "rows_from_results",
+    "run_scenario",
+    "run_sweep",
+    "to_csv",
+    "to_json",
+]

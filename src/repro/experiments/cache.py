@@ -1,0 +1,148 @@
+"""On-disk result cache keyed by scenario content hash.
+
+The hardware flow caches synthesis on the *hardware signature* so
+software-only changes re-use the bitstream (Slide 13); the sweep layer
+applies the same idea one level up: a finished scenario's metric
+record is cached on the spec's content hash, so re-running a sweep
+only executes scenarios whose definition actually changed.  Editing
+one axis value of a 100-point sweep re-emulates the affected points
+and serves the other ~90 from disk in milliseconds.
+
+Layout: one canonical-JSON file per scenario under the cache root,
+named ``<key>.json``.  Records are written atomically (temp file +
+rename) so a crashed or killed sweep never leaves a truncated record
+a later run would trust; unreadable, schema-mismatched or key-
+mismatched files read as misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, List, Mapping, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.spec import ScenarioSpec
+
+#: Default cache directory of the CLI (relative to the working dir).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _canonical(record: Mapping[str, Any]) -> bytes:
+    """The byte form stored on disk: canonical, key-sorted JSON."""
+    return json.dumps(
+        record, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+class ResultCache:
+    """A directory of scenario records addressed by content hash."""
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, spec: "ScenarioSpec") -> Optional[Dict[str, Any]]:
+        """The stored record for ``spec``, or None on any miss.
+
+        Corruption, schema drift and (vanishingly unlikely) hash
+        collisions all degrade to a miss: the scenario simply re-runs
+        and overwrites the bad entry.
+        """
+        raw = self.get_bytes(spec.key)
+        if raw is None:
+            return None
+        try:
+            record = json.loads(raw)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(record, dict):
+            return None
+        from repro.experiments.runner import RECORD_SCHEMA
+
+        if record.get("schema") != RECORD_SCHEMA:
+            return None
+        if record.get("key") != spec.key:
+            return None
+        # Hash collision guard: the full spec must match.  Compare in
+        # canonical JSON form — the live spec holds tuples where the
+        # JSON round trip yields lists, and those must compare equal.
+        if _canonical(record.get("spec", {})) != _canonical(
+            spec.to_dict()
+        ):
+            return None
+        if not isinstance(record.get("metrics"), dict):
+            return None
+        return record
+
+    def get_bytes(self, key: str) -> Optional[bytes]:
+        """Raw stored bytes for a key (byte-identity checks in tests)."""
+        try:
+            with open(self.path_for(key), "rb") as fh:
+                return fh.read()
+        except OSError:
+            return None
+
+    # ------------------------------------------------------------------
+    # Store
+    # ------------------------------------------------------------------
+    def put(
+        self, spec: "ScenarioSpec", record: Mapping[str, Any]
+    ) -> str:
+        """Atomically persist a record; returns the file path."""
+        if record.get("key") != spec.key:
+            raise ValueError(
+                f"record key {record.get('key')!r} does not match spec"
+                f" key {spec.key!r}"
+            )
+        path = self.path_for(spec.key)
+        blob = _canonical(record)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=f".{spec.key}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def keys(self) -> List[str]:
+        """All cached scenario keys (sorted, for stable listings)."""
+        keys = []
+        for entry in os.listdir(self.root):
+            if entry.endswith(".json") and not entry.startswith("."):
+                keys.append(entry[: -len(".json")])
+        return sorted(keys)
+
+    def clear(self) -> int:
+        """Delete every record; returns how many were removed."""
+        removed = 0
+        for key in self.keys():
+            try:
+                os.unlink(self.path_for(key))
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ResultCache({self.root!r}, entries={len(self)})"

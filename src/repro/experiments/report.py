@@ -1,0 +1,241 @@
+"""Sweep aggregation and export.
+
+The paper's evaluation figures are all *aggregations over sweeps* —
+latency vs packets-per-burst, congestion vs routing case (Slides
+20-22).  This module turns a list of
+:class:`~repro.experiments.runner.ScenarioResult` into exactly that
+kind of series: flat rows (spec fields + metrics), group-by
+aggregation with mean/min/max/percentile statistics, CSV/JSON export
+for external plotting, and a fixed-width table renderer for the CLI.
+
+Everything here is deterministic: rows keep sweep order, groups sort
+by their key, and percentiles interpolate linearly (so the same
+results always render the same report).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.errors import ConfigError
+from repro.experiments.runner import ScenarioResult
+
+#: Metric columns the CLI shows by default (a readable subset; every
+#: metric of ``repro.stats.summary`` remains available by name).
+DEFAULT_METRICS = (
+    "cycles",
+    "mean_latency",
+    "p95_latency",
+    "accepted_flits_per_cycle",
+    "congestion_rate",
+)
+
+#: Aggregate statistics computed per group.
+DEFAULT_STATS = ("mean", "min", "max")
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (deterministic, numpy-free)."""
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def rows_from_results(
+    results: Sequence[ScenarioResult],
+) -> List[Dict[str, Any]]:
+    """Flatten results: one dict per scenario, spec fields + metrics.
+
+    Spec fields and metric names share one namespace (metrics win on
+    collision, which cannot happen with the stock names); traffic
+    params appear as ``traffic_params.<name>`` columns.
+    """
+    rows = []
+    for result in results:
+        row: Dict[str, Any] = {"key": result.key}
+        spec = result.spec.to_dict()
+        params = spec.pop("traffic_params")
+        row.update(spec)
+        for name, value in sorted(params.items()):
+            row[f"traffic_params.{name}"] = value
+        row.update(result.metrics)
+        row["cached"] = result.cached
+        rows.append(row)
+    return rows
+
+
+def _group_key(row: Mapping[str, Any], by: Sequence[str]) -> Tuple:
+    try:
+        return tuple(row[field] for field in by)
+    except KeyError as missing:
+        raise ConfigError(
+            f"unknown group-by field {missing}; available fields:"
+            f" {sorted(row)}"
+        ) from None
+
+
+def aggregate(
+    results: Sequence[ScenarioResult],
+    by: Sequence[str],
+    metrics: Optional[Sequence[str]] = None,
+    stats: Sequence[str] = DEFAULT_STATS,
+) -> List[Dict[str, Any]]:
+    """Group results by spec fields and aggregate metric statistics.
+
+    ``by`` names row fields (spec fields, ``traffic_params.<name>``,
+    even metrics); ``metrics`` defaults to every numeric metric
+    present; ``stats`` picks from ``mean``, ``min``, ``max``,
+    ``count`` and ``pNN`` percentiles (``p50``, ``p95``, ...).
+    Output rows are sorted by group key and carry columns
+    ``<metric>.<stat>``.
+    """
+    if not by:
+        raise ConfigError("aggregate needs at least one group-by field")
+    rows = rows_from_results(results)
+    if not rows:
+        return []
+    if metrics is None:
+        sample = results[0].metrics
+        metrics = [
+            name
+            for name, value in sample.items()
+            if isinstance(value, (int, float))
+            and not isinstance(value, bool)
+        ]
+    groups: Dict[Tuple, List[Mapping[str, Any]]] = {}
+    for row in rows:
+        groups.setdefault(_group_key(row, by), []).append(row)
+
+    def sort_value(value: Any) -> Tuple:
+        # Numbers sort numerically (depth 16 after depth 2, not
+        # before), everything else lexically, mixed types stably.
+        if isinstance(value, bool) or not isinstance(
+            value, (int, float)
+        ):
+            return (1, 0.0, str(value))
+        return (0, float(value), "")
+
+    out = []
+    for key in sorted(
+        groups, key=lambda k: tuple(sort_value(x) for x in k)
+    ):
+        members = groups[key]
+        agg: Dict[str, Any] = dict(zip(by, key))
+        agg["n"] = len(members)
+        for metric in metrics:
+            values = [
+                m[metric]
+                for m in members
+                if isinstance(m.get(metric), (int, float))
+                and not isinstance(m.get(metric), bool)
+            ]
+            for stat in stats:
+                agg[f"{metric}.{stat}"] = (
+                    _stat(values, stat) if values else None
+                )
+        out.append(agg)
+    return out
+
+
+def _stat(values: Sequence[float], stat: str) -> float:
+    if stat == "mean":
+        return sum(values) / len(values)
+    if stat == "min":
+        return min(values)
+    if stat == "max":
+        return max(values)
+    if stat == "count":
+        return len(values)
+    if stat.startswith("p"):
+        try:
+            q = int(stat[1:]) / 100.0
+        except ValueError:
+            raise ConfigError(f"unknown statistic {stat!r}") from None
+        return percentile(values, q)
+    raise ConfigError(
+        f"unknown statistic {stat!r}; expected mean/min/max/count/pNN"
+    )
+
+
+# ----------------------------------------------------------------------
+# Export
+# ----------------------------------------------------------------------
+def _columns(rows: Sequence[Mapping[str, Any]]) -> List[str]:
+    """Union of row keys, first-seen order (rows share a vocabulary)."""
+    columns: List[str] = []
+    for row in rows:
+        for name in row:
+            if name not in columns:
+                columns.append(name)
+    return columns
+
+
+def to_csv(rows: Sequence[Mapping[str, Any]], path: str) -> str:
+    """Write flat or aggregated rows as CSV; returns the path."""
+    columns = _columns(rows)
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(dict(row))
+    return path
+
+
+def to_json(rows: Sequence[Mapping[str, Any]], path: str) -> str:
+    """Write rows as a sorted-key JSON document; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(
+            [dict(r) for r in rows], fh, indent=2, sort_keys=True
+        )
+        fh.write("\n")
+    return path
+
+
+def render_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Fixed-width text table of selected columns (CLI output)."""
+    if not rows:
+        return "(no results)"
+    columns = list(columns) if columns else _columns(rows)
+
+    def fmt(value: Any) -> str:
+        if isinstance(value, bool) or value is None:
+            return str(value)
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    cells = [[fmt(row.get(c)) for c in columns] for row in rows]
+    widths = [
+        max(len(str(c)), *(len(r[i]) for r in cells))
+        for i, c in enumerate(columns)
+    ]
+    lines = [
+        "  ".join(str(c).ljust(w) for c, w in zip(columns, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

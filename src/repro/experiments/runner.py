@@ -1,0 +1,284 @@
+"""The sweep runner: specs in, deterministic results out.
+
+The emulation engine runs one platform; design-space exploration runs
+hundreds.  :class:`SweepRunner` is the host-side batch driver the
+paper's "host PC" role implies: it takes a list of
+:class:`~repro.experiments.spec.ScenarioSpec`, executes each through
+``build_platform`` + :class:`~repro.core.engine.EmulationEngine`,
+and reads the statistics out as :class:`ScenarioResult` records.
+
+Three properties the sweeps rely on:
+
+* **Determinism** — a scenario's metrics are a pure function of its
+  spec: every generator seed is derived from ``(seed, spec hash, TG
+  index)`` (:meth:`ScenarioSpec.stream_seed`), so serial, parallel and
+  re-ordered executions produce bit-identical records.  Wall-clock
+  speed is measured but kept *outside* the record.
+* **Parallelism** — ``workers > 1`` fans scenarios out over a
+  ``multiprocessing`` pool (one emulation per task, order-preserving),
+  which is the software analogue of racking more FPGA boards: sweeps
+  scale with cores because scenarios share nothing.
+* **Incrementality** — with a :class:`~repro.experiments.cache.
+  ResultCache` attached, already-computed scenarios are served from
+  disk and only changed specs execute (the software mirror of Slide
+  13's "avoids often hardware re-synthesis").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.engine import EmulationEngine
+from repro.core.errors import ConfigError
+from repro.core.platform import build_platform
+from repro.experiments.cache import ResultCache
+from repro.experiments.spec import ScenarioSpec
+
+#: Bump when the metric record layout changes; stored in every record
+#: so caches from older layouts read as misses, not as wrong data.
+RECORD_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One scenario's outcome: the spec, its metrics, and provenance.
+
+    ``metrics`` is the deterministic record (see
+    :func:`repro.stats.summary.scenario_metrics`); ``wall_seconds`` and
+    ``cached`` describe how this particular copy was obtained and are
+    deliberately excluded from :meth:`record`, which is the canonical
+    (cacheable, comparable) form.
+    """
+
+    spec: ScenarioSpec
+    metrics: Mapping[str, Any]
+    wall_seconds: float = 0.0
+    cached: bool = False
+
+    @property
+    def key(self) -> str:
+        return self.spec.key
+
+    def record(self) -> Dict[str, Any]:
+        """Canonical deterministic form: what the cache stores."""
+        return {
+            "schema": RECORD_SCHEMA,
+            "key": self.spec.key,
+            "spec": self.spec.to_dict(),
+            "metrics": dict(self.metrics),
+        }
+
+    @classmethod
+    def from_record(
+        cls,
+        record: Mapping[str, Any],
+        wall_seconds: float = 0.0,
+        cached: bool = False,
+    ) -> "ScenarioResult":
+        return cls(
+            spec=ScenarioSpec.from_dict(record["spec"]),
+            metrics=dict(record["metrics"]),
+            wall_seconds=wall_seconds,
+            cached=cached,
+        )
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Execute one scenario end to end (pure function of the spec)."""
+    started = time.perf_counter()
+    platform = build_platform(spec.to_platform_config())
+    result = EmulationEngine(platform).run()
+    from repro.stats.summary import scenario_metrics
+
+    metrics = scenario_metrics(platform, result)
+    return ScenarioResult(
+        spec=spec,
+        metrics=metrics,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+def _run_record(spec_dict: Dict[str, Any]) -> Tuple[Dict[str, Any], float]:
+    """Worker entry point: specs travel as plain dicts (picklable)."""
+    result = run_scenario(ScenarioSpec.from_dict(spec_dict))
+    return result.record(), result.wall_seconds
+
+
+@dataclass
+class SweepStats:
+    """Execution accounting of one :meth:`SweepRunner.run` call."""
+
+    scenarios: int = 0
+    executed: int = 0
+    cached: int = 0
+    wall_seconds: float = 0.0
+    workers: int = 1
+
+    @property
+    def scenarios_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.scenarios / self.wall_seconds
+
+
+class SweepRunner:
+    """Executes scenario lists serially or on a process pool.
+
+    Parameters
+    ----------
+    workers:
+        Process count; 1 (the default) runs in-process.  Results are
+        identical either way — parallelism only changes wall-clock.
+    cache:
+        Optional :class:`~repro.experiments.cache.ResultCache`; hits
+        skip execution, misses are stored after the run.
+    progress:
+        Optional callback ``(done, total, result)`` fired live as each
+        scenario is retired (cache hits and duplicates included):
+        cache hits first, then executions in submission order as they
+        complete, duplicates last.  The returned list is in spec order.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[
+            Callable[[int, int, ScenarioResult], None]
+        ] = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.cache = cache
+        self.progress = progress
+        self.last_stats = SweepStats()
+        self._done = 0
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[ScenarioSpec]) -> List[ScenarioResult]:
+        """Run a sweep; results come back in spec order.
+
+        Duplicate specs (same content hash) execute once and share the
+        result.  With a cache attached, previously stored scenarios
+        are served from disk.
+        """
+        started = time.perf_counter()
+        specs = list(specs)
+        total = len(specs)
+        results: List[Optional[ScenarioResult]] = [None] * total
+        self._done = 0
+
+        # Cache pass + dedup: first occurrence of each key executes.
+        pending: List[Tuple[int, ScenarioSpec]] = []
+        first_index: Dict[str, int] = {}
+        duplicates: List[Tuple[int, int]] = []
+        cached = 0
+        for i, spec in enumerate(specs):
+            if not isinstance(spec, ScenarioSpec):
+                raise ConfigError(
+                    f"sweep item {i} is {type(spec).__name__}, not"
+                    f" ScenarioSpec"
+                )
+            key = spec.key
+            if key in first_index:
+                duplicates.append((i, first_index[key]))
+                continue
+            first_index[key] = i
+            if self.cache is not None:
+                record = self.cache.get(spec)
+                if record is not None:
+                    results[i] = ScenarioResult.from_record(
+                        record, cached=True
+                    )
+                    cached += 1
+                    self._tick(total, results[i])
+                    continue
+            pending.append((i, spec))
+
+        executed = self._execute(pending, results, total)
+
+        for dup, first in duplicates:
+            results[dup] = results[first]
+            self._tick(total, results[dup])
+        final = [r for r in results if r is not None]
+        if len(final) != total:  # pragma: no cover - internal invariant
+            raise RuntimeError("sweep lost results")
+
+        self.last_stats = SweepStats(
+            scenarios=total,
+            executed=executed,
+            cached=cached,
+            wall_seconds=time.perf_counter() - started,
+            workers=self.workers,
+        )
+        return final
+
+    # ------------------------------------------------------------------
+    def _tick(self, total: int, result: ScenarioResult) -> None:
+        """One scenario accounted for: fire the live progress hook."""
+        self._done += 1
+        if self.progress is not None:
+            self.progress(self._done, total, result)
+
+    def _execute(
+        self,
+        pending: List[Tuple[int, ScenarioSpec]],
+        results: List[Optional[ScenarioResult]],
+        total: int,
+    ) -> int:
+        """Run the cache misses; fill ``results`` in place.
+
+        Each completed scenario is cached and reported *immediately* —
+        an interrupted sweep keeps everything already finished, which
+        is what makes long parallel sweeps resumable.
+        """
+        if not pending:
+            return 0
+        if self.workers == 1 or len(pending) == 1:
+            for i, spec in pending:
+                result = run_scenario(spec)
+                results[i] = result
+                if self.cache is not None:
+                    self.cache.put(spec, result.record())
+                self._tick(total, result)
+            return len(pending)
+
+        import multiprocessing
+
+        payloads = [spec.to_dict() for _, spec in pending]
+        with multiprocessing.Pool(
+            processes=min(self.workers, len(pending))
+        ) as pool:
+            outcomes = pool.imap(_run_record, payloads, chunksize=1)
+            for (i, spec), (record, wall) in zip(pending, outcomes):
+                results[i] = ScenarioResult.from_record(
+                    record, wall_seconds=wall
+                )
+                if self.cache is not None:
+                    self.cache.put(spec, record)
+                self._tick(total, results[i])
+        return len(pending)
+
+
+def run_sweep(
+    specs: Sequence[ScenarioSpec],
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[Callable[[int, int, ScenarioResult], None]] = None,
+) -> List[ScenarioResult]:
+    """One-shot convenience wrapper around :class:`SweepRunner`."""
+    return SweepRunner(
+        workers=workers, cache=cache, progress=progress
+    ).run(specs)

@@ -316,6 +316,132 @@ def build_multipath_tables(
     return MultiPathTableRouting(tables, salt=salt)
 
 
+def build_updown_tables(
+    topo: Topology,
+    destinations: Optional[Sequence[int]] = None,
+    root: int = 0,
+) -> TableRouting:
+    """Deadlock-free up*/down* tables for any connected topology.
+
+    BFS shortest-path tables can wormhole-deadlock on fabrics whose
+    links close a cycle — a bidirectional ring's clockwise channels
+    form a full channel-dependency cycle as soon as every link carries
+    some flow, and the platform has no virtual channels to break it
+    (the spidergon's native routing assumes them).  Up*/down* (Autonet)
+    needs neither: switches are ranked by ``(BFS level from root, id)``,
+    every link is *up* (toward lower rank) or *down*, and a legal route
+    is up-hops followed by down-hops.  Down-after-up can never close a
+    channel cycle, because any cycle would need an up edge after a down
+    edge.
+
+    The tables realise the discipline statelessly: at each switch a
+    packet descends along a shortest down-only path when its
+    destination is down-reachable, and otherwise climbs to the cheapest
+    up neighbour.  Once a packet starts descending every later switch
+    is still down-reachable (a suffix of a down-only path), so the
+    realised route never turns back up.  Routes can be longer than
+    graph-shortest — that is the price of deadlock freedom on ring-like
+    fabrics; on meshes and trees the root-anchored ranking keeps most
+    routes minimal.
+    """
+    if not 0 <= root < topo.n_switches:
+        raise RoutingError(
+            f"up*/down* root {root} out of range"
+            f" [0, {topo.n_switches})"
+        )
+    if destinations is None:
+        destinations = range(topo.n_nodes)
+    n = topo.n_switches
+    # Rank switches by (BFS level from the root, id); "up" edges point
+    # toward strictly lower rank.
+    level = {root: 0}
+    frontier = deque([root])
+    while frontier:
+        s = frontier.popleft()
+        for ep in topo.switch_outputs[s]:
+            if ep.kind == "switch" and ep.target not in level:
+                level[ep.target] = level[s] + 1
+                frontier.append(ep.target)
+    if len(level) < n:
+        raise RoutingError(
+            f"topology is not connected from switch {root}:"
+            f" {n - len(level)} switches unreachable"
+        )
+    rank = {s: (level[s], s) for s in range(n)}
+    by_rank = sorted(range(n), key=lambda s: rank[s])
+
+    tables: Dict[int, Dict[int, int]] = {s: {} for s in range(n)}
+    for dst in destinations:
+        dst_switch = topo.switch_of_node(dst)
+        # Down-only hop distance to dst_switch (reverse BFS over down
+        # edges), plus the port of a deterministic shortest down step.
+        down_dist = [-1] * n
+        down_dist[dst_switch] = 0
+        frontier = deque([dst_switch])
+        while frontier:
+            s = frontier.popleft()
+            for ep in topo.switch_inputs[s]:
+                if (
+                    ep.kind == "switch"
+                    and rank[ep.source] < rank[s]
+                    and down_dist[ep.source] < 0
+                ):
+                    down_dist[ep.source] = down_dist[s] + 1
+                    frontier.append(ep.source)
+        # Total route cost: descend when possible, else climb one up
+        # hop.  Up edges strictly decrease rank, so sweeping switches
+        # in rank order resolves the climb recurrence in one pass.
+        cost = [-1] * n
+        for s in by_rank:
+            if down_dist[s] >= 0:
+                cost[s] = down_dist[s]
+                continue
+            best = -1
+            for ep in topo.switch_outputs[s]:
+                if ep.kind != "switch" or rank[ep.target] >= rank[s]:
+                    continue
+                c = cost[ep.target]
+                if c >= 0 and (best < 0 or c + 1 < best):
+                    best = c + 1
+            if best < 0:
+                raise RoutingError(
+                    f"switch {s} has no up link toward the root and"
+                    f" cannot reach node {dst} downward; up*/down*"
+                    f" needs bidirectional links"
+                )
+            cost[s] = best
+        for s in range(n):
+            if s == dst_switch:
+                tables[s][dst] = topo.output_port_to_node(s, dst)
+                continue
+            best_port = None
+            best_cost = None
+            for port, ep in enumerate(topo.switch_outputs[s]):
+                if ep.kind != "switch":
+                    continue
+                t = ep.target
+                if down_dist[s] >= 0:
+                    # Committed to descending: shortest down step only.
+                    ok = (
+                        rank[t] > rank[s]
+                        and down_dist[t] == down_dist[s] - 1
+                    )
+                    c = down_dist[s] - 1 if ok else None
+                else:
+                    ok = rank[t] < rank[s] and cost[t] >= 0
+                    c = cost[t] if ok else None
+                if ok and (best_cost is None or c < best_cost):
+                    best_port = port
+                    best_cost = c
+            if best_port is None:
+                raise RoutingError(
+                    f"inconsistent up*/down* state at switch {s}"
+                    f" toward node {dst}"
+                )
+            tables[s][dst] = best_port
+    return TableRouting(tables)
+
+
 def build_tables_from_paths(
     topo: Topology,
     paths: Mapping[Tuple[int, int], Sequence[int]],

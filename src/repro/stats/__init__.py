@@ -14,6 +14,10 @@ from repro.stats.congestion import (
 from repro.stats.latency import LatencyAnalyzer
 from repro.stats.occupancy import BufferStat, OccupancyReport
 from repro.stats.runtime import RunTimeModel, SpeedReport
+from repro.stats.summary import (
+    merged_latency_histogram,
+    scenario_metrics,
+)
 from repro.stats.throughput import ThroughputMeter
 
 __all__ = [
@@ -24,5 +28,7 @@ __all__ = [
     "RunTimeModel",
     "SpeedReport",
     "ThroughputMeter",
+    "merged_latency_histogram",
     "network_congestion_rate",
+    "scenario_metrics",
 ]

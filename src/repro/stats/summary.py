@@ -1,0 +1,136 @@
+"""Platform-wide metric readout for the experiment runner.
+
+One emulation produces statistics scattered over devices: per-receptor
+latency analyzers and congestion counters (Slide 11), per-switch
+traversal counters, the engine's cycle/packet registers.  The sweep
+runner needs them as one flat, JSON-serialisable record — and, because
+sweeps run across worker processes and result caches, the record must
+be a *deterministic* function of the scenario alone.  This module is
+that readout: :func:`scenario_metrics` merges the receptor analyzers
+(histograms included, so percentiles aggregate exactly) and emits only
+reproducible quantities — wall-clock speed, the one non-deterministic
+output of a run, is deliberately excluded and travels next to the
+record, never inside it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, TYPE_CHECKING
+
+from repro.stats.congestion import (
+    CongestionCounter,
+    network_congestion_rate,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.engine import EngineResult
+    from repro.core.platform import EmulationPlatform
+    from repro.receptors.histogram import Histogram
+
+
+def merged_latency_histogram(
+    platform: "EmulationPlatform",
+) -> Optional["Histogram"]:
+    """All trace-driven receptors' latency histograms as one.
+
+    Returns None when no receptor carries a latency analyzer (a pure
+    stochastic-receptor platform) or the geometries differ.
+    """
+    # Receptor classes import the stats analyzers at module load, so
+    # these imports must stay call-time to keep the package acyclic.
+    from repro.receptors.histogram import Histogram
+    from repro.receptors.tracedriven import TraceDrivenReceptor
+
+    merged: Optional[Histogram] = None
+    for receptor in platform.receptors:
+        if not isinstance(receptor, TraceDrivenReceptor):
+            continue
+        hist = receptor.latency.histogram
+        if merged is None:
+            merged = Histogram(
+                hist.n_bins, hist.bin_width, origin=hist.origin
+            )
+        try:
+            merged.merge(hist)
+        except ValueError:
+            return None  # mixed geometries: no meaningful aggregate
+    return merged
+
+
+def scenario_metrics(
+    platform: "EmulationPlatform", result: "EngineResult"
+) -> Dict[str, Any]:
+    """The deterministic metric record of one finished run.
+
+    Latency aggregates are computed from exact totals (not means of
+    means, which would weight receptors equally regardless of packet
+    count); percentiles come from the merged fixed-bin histograms, so
+    they match what a single platform-wide analyzer would have read.
+    """
+    from repro.receptors.tracedriven import TraceDrivenReceptor
+
+    latency_count = 0
+    latency_total = 0
+    latency_min: Optional[int] = None
+    latency_max: Optional[int] = None
+    queueing_total = 0
+    network_total = 0
+    decomposed = 0
+    stalls = CongestionCounter()
+    flits_received = 0
+    for receptor in platform.receptors:
+        flits_received += receptor.flits_received
+        if not isinstance(receptor, TraceDrivenReceptor):
+            continue
+        lat = receptor.latency
+        latency_count += lat.count
+        latency_total += lat.total_latency
+        if lat.min_latency is not None and (
+            latency_min is None or lat.min_latency < latency_min
+        ):
+            latency_min = lat.min_latency
+        if lat.max_latency is not None and (
+            latency_max is None or lat.max_latency > latency_max
+        ):
+            latency_max = lat.max_latency
+        queueing_total += lat.total_queueing
+        network_total += lat.total_network
+        decomposed += lat.decomposed_count
+        stalls.merge(receptor.congestion)
+
+    hist = merged_latency_histogram(platform)
+    cycles = result.cycles
+    metrics: Dict[str, Any] = {
+        # Runtime (Slide 18's "Our Emulation" axis).
+        "cycles": cycles,
+        "emulated_seconds": result.emulated_seconds,
+        "completed": bool(result.completed),
+        "packets_sent": result.packets_sent,
+        "packets_received": result.packets_received,
+        "cycles_per_packet": result.cycles_per_packet,
+        # Throughput.
+        "flits_received": flits_received,
+        "accepted_flits_per_cycle": (
+            flits_received / cycles if cycles else 0.0
+        ),
+        # Latency (Slide 22 metrics).
+        "mean_latency": (
+            latency_total / latency_count if latency_count else 0.0
+        ),
+        "min_latency": latency_min,
+        "max_latency": latency_max,
+        "p50_latency": hist.quantile(0.50) if hist and hist.total else None,
+        "p95_latency": hist.quantile(0.95) if hist and hist.total else None,
+        "mean_queueing_latency": (
+            queueing_total / decomposed if decomposed else 0.0
+        ),
+        "mean_network_latency": (
+            network_total / decomposed if decomposed else 0.0
+        ),
+        # Congestion (Slide 21 metrics).
+        "congestion_rate": network_congestion_rate(platform.network),
+        "total_stall_cycles": stalls.total_stall_cycles,
+        "mean_stall_per_packet": stalls.mean_stall_per_packet,
+        "congested_packet_fraction": stalls.congested_fraction,
+    }
+    return metrics

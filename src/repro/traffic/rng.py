@@ -21,6 +21,49 @@ import math
 #: Taps x^32 + x^22 + x^2 + x^1 + 1 (maximal length, period 2^32 - 1).
 _GALOIS_MASK_32 = 0x80200003
 
+_MASK_64 = 0xFFFFFFFFFFFFFFFF
+
+#: SplitMix64 increment (golden-ratio gamma), the standard stream
+#: splitter constant.
+_SPLITMIX_GAMMA = 0x9E3779B97F4A7C15
+
+
+def _splitmix64(x: int) -> int:
+    """One SplitMix64 finalisation round (full 64-bit avalanche)."""
+    x = (x + _SPLITMIX_GAMMA) & _MASK_64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK_64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK_64
+    x ^= x >> 31
+    return x
+
+
+def derive_stream_seed(root_seed: int, *stream: int) -> int:
+    """An independent 32-bit LFSR seed for sub-stream ``(root_seed, *stream)``.
+
+    The experiment runner launches many emulations from one user-level
+    seed — several traffic generators per scenario, many scenarios per
+    sweep, possibly in parallel worker processes.  Deriving each TG
+    seed as ``root_seed + i`` (the seed-register convention of a single
+    hand-configured platform) makes *neighbouring* scenarios share LFSR
+    streams: TG 1 of the run seeded 1 replays TG 0 of the run seeded 2.
+    This function spawns statistically independent streams instead:
+    each key of ``stream`` (scenario content hash, generator index, ...)
+    is absorbed through a SplitMix64 avalanche round, so any change in
+    any key decorrelates the whole 32-bit output.
+
+    The result is deterministic in its inputs alone — sweep workers can
+    derive it locally in any order, which is what keeps serial and
+    parallel sweep runs bit-identical — and never zero (the all-zero
+    LFSR state is its fixed point, see :class:`Lfsr32`).
+    """
+    state = _splitmix64(root_seed & _MASK_64)
+    for key in stream:
+        state = _splitmix64(state ^ (key & _MASK_64))
+    seed = (state ^ (state >> 32)) & 0xFFFFFFFF
+    return seed if seed else 0x1B00B1E5
+
 
 class Lfsr32:
     """A 32-bit maximal-length Galois LFSR.

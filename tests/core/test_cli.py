@@ -73,3 +73,183 @@ class TestCommands:
             l for l in out.splitlines() if l.strip()[:1].isdigit()
         ]
         assert len(lines) == 7  # ppb in 1..64
+
+
+class TestTopologyOptions:
+    def test_run_generic_topology(self, capsys):
+        code = main(
+            [
+                "run",
+                "--topology", "mesh:2:2",
+                "--traffic", "poisson",
+                "--load", "0.1",
+                "--packets", "20",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "emulation report" in out
+        assert "mesh2x2" in out
+
+    def test_run_cyclic_topology_deadlock_free(self, capsys):
+        code = main(
+            [
+                "run",
+                "--topology", "spidergon:8",
+                "--load", "0.1",
+                "--packets", "10",
+            ]
+        )
+        assert code == 0
+        assert "spidergon8" in capsys.readouterr().out
+
+    def test_run_paper_default_unchanged(self):
+        args = build_parser().parse_args(["run"])
+        assert args.topology == "paper"
+        assert args.routing == "overlap"
+
+    def test_synth_generic_topology(self, capsys):
+        code = main(["synth", "--topology", "ring:4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Number of slices" in out
+
+    def test_run_malformed_topology_clean_error(self, capsys):
+        code = main(["run", "--topology", "mesh:bad", "--packets", "5"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_synth_malformed_topology_clean_error(self, capsys):
+        code = main(["synth", "--topology", "ring:0"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+
+
+class TestBatchCommand:
+    def make_sweep(self, tmp_path, payload=None):
+        import json
+
+        path = tmp_path / "sweep.json"
+        path.write_text(
+            json.dumps(
+                payload
+                or {
+                    "base": {"traffic": "uniform", "packets": 30},
+                    "grid": {"load": [0.15, 0.3], "buffer_depth": [2, 4]},
+                }
+            )
+        )
+        return str(path)
+
+    def test_batch_runs_grid(self, tmp_path, capsys):
+        sweep = self.make_sweep(tmp_path)
+        code = main(
+            ["batch", sweep, "--cache-dir", str(tmp_path / "cache")]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        # 4 scenario rows + header + rule.
+        assert len(captured.out.strip().splitlines()) == 6
+        assert "mean_latency" in captured.out
+        assert "4 scenario(s): 4 executed, 0 cached" in captured.err
+
+    def test_batch_second_run_cached(self, tmp_path, capsys):
+        sweep = self.make_sweep(tmp_path)
+        cache = str(tmp_path / "cache")
+        main(["batch", sweep, "--cache-dir", cache])
+        first = capsys.readouterr().out
+        code = main(["batch", sweep, "--cache-dir", cache])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out == first  # cached rows render identically
+        assert "0 executed, 4 cached" in captured.err
+
+    def test_batch_no_cache(self, tmp_path, capsys, monkeypatch):
+        # The default cache dir is relative to the working directory;
+        # run from tmp_path so a --no-cache regression would be seen.
+        monkeypatch.chdir(tmp_path)
+        sweep = self.make_sweep(tmp_path)
+        code = main(["batch", sweep, "--no-cache"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "4 executed" in captured.err
+        assert not (tmp_path / ".repro-cache").exists()
+
+    def test_batch_default_cache_dir(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        sweep = self.make_sweep(tmp_path)
+        code = main(["batch", sweep])
+        capsys.readouterr()
+        assert code == 0
+        assert len(list((tmp_path / ".repro-cache").glob("*.json"))) == 4
+
+    def test_batch_group_by_and_exports(self, tmp_path, capsys):
+        import csv
+        import json
+
+        sweep = self.make_sweep(tmp_path)
+        csv_path = tmp_path / "rows.csv"
+        json_path = tmp_path / "rows.json"
+        code = main(
+            [
+                "batch", sweep,
+                "--cache-dir", str(tmp_path / "cache"),
+                "--group-by", "load",
+                "--metrics", "cycles,mean_latency",
+                "--csv", str(csv_path),
+                "--json", str(json_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cycles.mean" in out
+        with open(csv_path, newline="") as fh:
+            assert len(list(csv.DictReader(fh))) == 4
+        assert len(json.loads(json_path.read_text())) == 4
+
+    def test_batch_workers_match_serial(self, tmp_path, capsys):
+        sweep = self.make_sweep(tmp_path)
+        main(["batch", sweep, "--no-cache"])
+        serial = capsys.readouterr().out
+        code = main(["batch", sweep, "--no-cache", "--workers", "2"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out == serial
+
+    def test_batch_missing_file(self, tmp_path, capsys):
+        code = main(["batch", str(tmp_path / "absent.json")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+
+    def test_batch_bad_sweep_document(self, tmp_path, capsys):
+        sweep = self.make_sweep(
+            tmp_path, {"grid": {"warp": [1, 2]}}
+        )
+        code = main(["batch", sweep])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+
+    def test_batch_bad_group_by(self, tmp_path, capsys):
+        sweep = self.make_sweep(tmp_path)
+        code = main(
+            [
+                "batch", sweep,
+                "--no-cache",
+                "--group-by", "flux_capacitor",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+
+    def test_batch_verbose_progress(self, tmp_path, capsys):
+        sweep = self.make_sweep(tmp_path)
+        code = main(["batch", sweep, "--no-cache", "--verbose"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "[4/4]" in captured.err

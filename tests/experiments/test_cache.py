@@ -1,0 +1,122 @@
+"""ResultCache tests: round trips, misses, corruption tolerance."""
+
+import json
+import os
+
+from repro.experiments import ResultCache, ScenarioSpec
+from repro.experiments.runner import RECORD_SCHEMA
+
+
+def make_record(spec, metrics=None):
+    return {
+        "schema": RECORD_SCHEMA,
+        "key": spec.key,
+        "spec": spec.to_dict(),
+        "metrics": metrics or {"cycles": 123, "mean_latency": 4.5},
+    }
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = ScenarioSpec(packets=10)
+        record = make_record(spec)
+        path = cache.put(spec, record)
+        assert os.path.exists(path)
+        assert cache.get(spec) == record
+
+    def test_miss_on_empty(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.get(ScenarioSpec()) is None
+
+    def test_canonical_bytes_on_disk(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = ScenarioSpec(packets=10)
+        cache.put(spec, make_record(spec))
+        raw = cache.get_bytes(spec.key)
+        assert raw == json.dumps(
+            make_record(spec), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+
+    def test_put_is_idempotent_bytes(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = ScenarioSpec(packets=10)
+        cache.put(spec, make_record(spec))
+        first = cache.get_bytes(spec.key)
+        cache.put(spec, make_record(spec))
+        assert cache.get_bytes(spec.key) == first
+
+    def test_corrupt_file_reads_as_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = ScenarioSpec(packets=10)
+        cache.put(spec, make_record(spec))
+        with open(cache.path_for(spec.key), "w") as fh:
+            fh.write("{truncated")
+        assert cache.get(spec) is None
+
+    def test_schema_mismatch_reads_as_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = ScenarioSpec(packets=10)
+        record = make_record(spec)
+        record["schema"] = RECORD_SCHEMA + 1
+        with open(cache.path_for(spec.key), "w") as fh:
+            json.dump(record, fh)
+        assert cache.get(spec) is None
+
+    def test_spec_mismatch_reads_as_miss(self, tmp_path):
+        # Simulated hash collision: right key, wrong spec body.
+        cache = ResultCache(str(tmp_path))
+        spec = ScenarioSpec(packets=10)
+        other = ScenarioSpec(packets=20)
+        record = make_record(other)
+        record["key"] = spec.key
+        with open(cache.path_for(spec.key), "w") as fh:
+            json.dump(record, fh)
+        assert cache.get(spec) is None
+
+    def test_put_rejects_mismatched_record(self, tmp_path):
+        import pytest
+
+        cache = ResultCache(str(tmp_path))
+        spec = ScenarioSpec(packets=10)
+        other = ScenarioSpec(packets=20)
+        with pytest.raises(ValueError, match="does not match"):
+            cache.put(spec, make_record(other))
+
+    def test_keys_and_len_and_clear(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        specs = [ScenarioSpec(packets=n) for n in (10, 20, 30)]
+        for spec in specs:
+            cache.put(spec, make_record(spec))
+        assert len(cache) == 3
+        assert cache.keys() == sorted(s.key for s in specs)
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_no_tmp_droppings(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = ScenarioSpec(packets=10)
+        cache.put(spec, make_record(spec))
+        leftovers = [
+            f for f in os.listdir(str(tmp_path)) if f.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+    def test_creates_directory(self, tmp_path):
+        root = tmp_path / "nested" / "cache"
+        ResultCache(str(root))
+        assert root.is_dir()
+
+    def test_list_valued_params_hit(self, tmp_path):
+        # Tuples in the live spec round-trip through JSON as lists;
+        # the collision guard must compare canonically or the cache
+        # never hits for specs with sequence-valued traffic params.
+        cache = ResultCache(str(tmp_path))
+        spec = ScenarioSpec(
+            traffic_params={"dst": [1, 2, 3], "length": 4}
+        )
+        record = make_record(spec)
+        cache.put(spec, record)
+        hit = cache.get(spec)
+        assert hit is not None
+        assert hit["metrics"] == record["metrics"]

@@ -248,3 +248,90 @@ class TestPaperRouting:
     def test_unknown_case_rejected(self):
         with pytest.raises(RoutingError, match="unknown paper routing"):
             paper_routing(paper_topology(), "zigzag")
+
+
+class TestUpDownRouting:
+    """build_updown_tables: deadlock-free delivery on every family."""
+
+    def _topologies(self):
+        from repro.noc.topology import (
+            fully_connected,
+            spidergon,
+            star,
+            torus,
+            tree,
+        )
+
+        return [
+            ring(6),
+            ring(7),
+            spidergon(8),
+            spidergon(12),
+            mesh(3, 3),
+            torus(3, 3),
+            tree(2, 3),
+            star(4),
+            fully_connected(4),
+        ]
+
+    def test_delivers_every_pair(self):
+        from repro.noc.routing import build_updown_tables
+
+        for topo in self._topologies():
+            r = build_updown_tables(topo)
+            for src in range(topo.n_nodes):
+                for dst in range(topo.n_nodes):
+                    if src == dst:
+                        continue
+                    switch = topo.switch_of_node(src)
+                    flit = head_flit(src, dst)
+                    hops = 0
+                    while True:
+                        port = r.output_port(switch, flit)
+                        ep = topo.switch_outputs[switch][port]
+                        if ep.kind == "node":
+                            assert ep.target == dst, topo.name
+                            break
+                        switch = ep.target
+                        hops += 1
+                        assert hops <= 2 * topo.n_switches, topo.name
+
+    def test_channel_dependencies_acyclic(self):
+        from repro.noc.deadlock import assert_deadlock_free
+        from repro.noc.routing import build_updown_tables
+
+        for topo in self._topologies():
+            r = build_updown_tables(topo)
+            # Raises DeadlockError on any channel-dependency cycle;
+            # notably ring/spidergon, where BFS shortest paths cycle.
+            assert_deadlock_free(topo, r, list(range(topo.n_nodes)))
+
+    def test_shortest_paths_cycle_where_updown_does_not(self):
+        from repro.noc.deadlock import DeadlockError, assert_deadlock_free
+
+        topo = ring(6)
+        r = build_shortest_path_tables(topo)
+        with pytest.raises(DeadlockError):
+            assert_deadlock_free(topo, r, list(range(topo.n_nodes)))
+
+    def test_routes_stay_minimal_on_trees(self):
+        from repro.noc.routing import build_updown_tables
+        from repro.noc.topology import tree
+
+        # On a tree there is a single path per pair; up*/down* must
+        # find exactly it (no detours through the root when the pair
+        # shares a lower subtree).
+        topo = tree(2, 3)
+        r = build_updown_tables(topo)
+        shortest = build_shortest_path_tables(topo)
+        for src in range(topo.n_nodes):
+            for dst in range(topo.n_nodes):
+                if src != dst:
+                    s = topo.switch_of_node(src)
+                    assert r.ports_for(s, dst) == shortest.ports_for(s, dst)
+
+    def test_bad_root_rejected(self):
+        from repro.noc.routing import build_updown_tables
+
+        with pytest.raises(RoutingError, match="root"):
+            build_updown_tables(ring(4), root=9)
