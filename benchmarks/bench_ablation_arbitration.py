@@ -15,6 +15,8 @@ from repro.core.engine import EmulationEngine
 from repro.core.platform import build_platform
 from repro.receptors.tracedriven import TraceDrivenReceptor
 
+pytestmark = pytest.mark.perf
+
 POLICIES = ("round_robin", "fixed_priority", "matrix")
 PACKETS = 1500
 

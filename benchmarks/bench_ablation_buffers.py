@@ -15,9 +15,13 @@ spec's elaborated config (one synthesis per depth — depth is a
 hardware parameter).
 """
 
+import pytest
+
 from benchmarks.conftest import emit, format_table
 from repro.experiments import ScenarioSpec, Sweep, SweepRunner
 from repro.fpga.synthesis import synthesize
+
+pytestmark = pytest.mark.perf
 
 DEPTHS = (1, 2, 4, 8, 16)
 PACKETS = 1000

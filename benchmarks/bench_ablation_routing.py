@@ -16,6 +16,8 @@ from repro.core.engine import EmulationEngine
 from repro.core.platform import build_platform
 from repro.noc.topology import paper_hot_links
 
+pytestmark = pytest.mark.perf
+
 CASES = ("overlap", "split", "disjoint")
 PACKETS = 1500
 

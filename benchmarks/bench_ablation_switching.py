@@ -14,6 +14,8 @@ from repro.core.config import paper_platform_config
 from repro.core.engine import EmulationEngine
 from repro.core.platform import build_platform
 
+pytestmark = pytest.mark.perf
+
 PACKETS = 800
 LENGTH = 6
 DEPTH = 8  # >= packet length, as store-and-forward requires

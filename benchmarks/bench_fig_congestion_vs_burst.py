@@ -18,6 +18,8 @@ from repro.core.config import paper_platform_config
 from repro.core.engine import EmulationEngine
 from repro.core.platform import build_platform
 
+pytestmark = pytest.mark.perf
+
 PACKETS_PER_BURST = (1, 2, 4, 8, 16, 32)
 FLITS_PER_PACKET = (2, 4, 8, 16)
 

@@ -19,6 +19,8 @@ from repro.core.engine import EmulationEngine
 from repro.core.platform import build_platform
 from repro.noc.topology import paper_hot_links
 
+pytestmark = pytest.mark.perf
+
 PACKETS_PER_BURST = (1, 2, 4, 8, 16, 32, 64, 128)
 FLITS_PER_PACKET = 8
 PACKET_BUDGET = 1024

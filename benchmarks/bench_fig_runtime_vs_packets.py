@@ -19,6 +19,8 @@ from repro.core.engine import EmulationEngine
 from repro.core.platform import build_platform
 from repro.stats.runtime import format_duration
 
+pytestmark = pytest.mark.perf
+
 #: Packets per generator at each sweep point (x-axis).
 SWEEP_PACKETS = (250, 500, 1000, 2000, 4000)
 

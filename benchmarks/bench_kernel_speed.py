@@ -1,19 +1,27 @@
 """Kernel speed smoke: event-driven vs scan-reference stepping.
 
-Runs a small saturation + burst + low-load trio (< 30 s total) through
-both kernels and emits ``BENCH_kernel.json`` with engine cycles/sec per
-scenario, so every future PR has a comparable record of the hot loop's
-speed.  The reference mode reproduces the seed kernel's semantics: the
+Runs a saturation pair (45% and 90% uniform load) + burst + low-load
+quartet (< 30 s total) through both kernels and emits
+``BENCH_kernel.json`` with engine cycles/sec per scenario, so every
+future PR has a comparable record of the hot loop's speed.  The
+reference mode reproduces the seed kernel's semantics: the
 scan-everything ``Network.step_reference`` dataflow, every generator
-polled every cycle, and completion checks quantised to 64 cycles — the
-shape of the engine before the event-driven rewrite.  (It still runs on
-today's optimised switch/link/buffer code, so the speedups below
-*understate* the gain over the actual seed commit; ROADMAP.md records
-the measured seed-to-now numbers.)
+polled every cycle (backpressure parking disabled), and completion
+checks quantised to 64 cycles — the shape of the engine before the
+event-driven rewrite.  (It still runs on today's optimised
+switch/link/buffer code, so the speedups below *understate* the gain
+over the actual seed commit; ``SEED_CPS`` pins the seed commit's
+measured cycles/sec on the reference machine, and ROADMAP.md records
+the full seed-to-now table.)
 
-The asserted floors are deliberately below the typically measured
-ratios (~10x burst, ~7x low-load, ~1.1x saturation) to stay robust to
-CI machine noise.
+Two kinds of regression guard:
+
+* ``FLOORS`` — conservative event-vs-reference ratios, robust to CI
+  machine noise.
+* the committed ``BENCH_kernel.json`` — if a saturation scenario's
+  event c/s regresses more than 10% against the committed record, the
+  bench **fails loudly before overwriting it**, so a slow kernel can
+  never silently rewrite its own baseline.
 """
 
 import json
@@ -31,8 +39,13 @@ pytestmark = pytest.mark.perf
 
 SCENARIOS = {
     # The paper's Slide 19 operating point: all four flows at 45% load,
-    # the fabric busy nearly every cycle.
+    # the two shared middle-column links at 90%, the fabric busy nearly
+    # every cycle.
     "saturation": dict(traffic="uniform", load=0.45, max_packets=1500),
+    # Full saturation: 90% offered load everywhere — every switch busy,
+    # ~12% of traverses fully blocked, NIs starved on ~half their
+    # inject attempts.  This is the blocked-component parking regime.
+    "saturation90": dict(traffic="uniform", load=0.9, max_packets=1500),
     # Slide 20/22 shape: trace-driven bursts separated by long idle
     # gaps — the vast majority of emulated time is quiescent.
     "burst": dict(
@@ -49,7 +62,29 @@ SCENARIOS = {
 }
 
 #: Conservative speedup floors (event vs reference) per scenario.
-FLOORS = {"saturation": 0.85, "burst": 4.0, "lowload": 4.0}
+#: The reference path shares the delivery wheels and flattened hot
+#: paths, so at saturation — everything busy on a 6-switch fabric —
+#: it runs within noise of the event kernel; the seed-relative floor
+#: below is the meaningful saturation guard.
+FLOORS = {
+    "saturation": 0.9,
+    "saturation90": 0.9,
+    "burst": 3.5,
+    "lowload": 3.5,
+}
+
+#: Seed-commit engine speed on the reference machine (best-of-5,
+#: ``time.process_time``; the ROADMAP Performance table's "seed c/s"
+#: column).  The saturation target is 1.4x seed — the committed
+#: ``BENCH_kernel.json`` records the measured ``vs_seed`` (1.4-1.5x
+#: on the reference machine); the asserted floor sits lower only to
+#: tolerate CI-container CPU throttling swings.
+SEED_CPS = {"saturation": 40_000, "saturation90": 33_400}
+SEED_TARGET = 1.25
+
+#: Scenarios guarded against regression vs the committed record.
+GUARDED = ("saturation", "saturation90")
+REGRESSION_TOLERANCE = 0.10
 
 
 def run_event(config):
@@ -65,6 +100,10 @@ def run_reference(config):
     platform = build_platform(config)
     network = platform.network
     generators = platform.generators
+    for generator in generators:
+        # The seed engine had no backpressure parking: every generator
+        # ticks its stall counter per polled cycle.
+        generator._clock = None
     start = time.process_time()
     since = 0
     while True:
@@ -99,24 +138,50 @@ def measure(name, reps=3):
     # engine's was), so it may idle up to one interval past the finish.
     assert 0 <= cycles_r - cycles_e < 64, (name, cycles_e, cycles_r)
     assert packets_e == packets_r, (name, packets_e, packets_r)
-    return {
+    record = {
         "cycles": cycles_e,
         "packets_received": packets_e,
         "event_cps": round(cycles_e / best_event),
         "reference_cps": round(cycles_r / best_ref),
         "speedup": round((best_ref / best_event), 2),
     }
+    if name in SEED_CPS:
+        record["vs_seed"] = round(record["event_cps"] / SEED_CPS[name], 2)
+    return record
+
+
+def check_no_regression(report, baseline_path):
+    """Fail before overwriting when saturation c/s regresses > 10%."""
+    if not os.path.exists(baseline_path):
+        return
+    try:
+        with open(baseline_path, encoding="utf-8") as fh:
+            committed = json.load(fh)
+    except (OSError, ValueError):
+        return  # unreadable record: nothing to guard against
+    for name in GUARDED:
+        old = committed.get(name, {}).get("event_cps")
+        if not old:
+            continue
+        new = report[name]["event_cps"]
+        floor = old * (1.0 - REGRESSION_TOLERANCE)
+        assert new >= floor, (
+            f"{name}: event kernel regressed to {new:,} c/s, more than"
+            f" {REGRESSION_TOLERANCE:.0%} below the committed"
+            f" {old:,} c/s — refusing to overwrite"
+            f" {os.path.basename(baseline_path)}; investigate (or"
+            f" delete the record to re-baseline deliberately)"
+        )
 
 
 def test_kernel_speed_smoke():
     report = {name: measure(name) for name in SCENARIOS}
 
+    baseline_path = os.path.join(RESULTS_DIR, "BENCH_kernel.json")
+    check_no_regression(report, baseline_path)
+
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(
-        os.path.join(RESULTS_DIR, "BENCH_kernel.json"),
-        "w",
-        encoding="utf-8",
-    ) as fh:
+    with open(baseline_path, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2)
 
     rows = [
@@ -125,6 +190,7 @@ def test_kernel_speed_smoke():
             f"{r['event_cps']:,}",
             f"{r['reference_cps']:,}",
             f"{r['speedup']:.2f}x",
+            f"{r['vs_seed']:.2f}x" if "vs_seed" in r else "-",
             r["cycles"],
         )
         for name, r in report.items()
@@ -132,7 +198,14 @@ def test_kernel_speed_smoke():
     emit(
         "kernel_speed",
         format_table(
-            ["scenario", "event c/s", "reference c/s", "speedup", "cycles"],
+            [
+                "scenario",
+                "event c/s",
+                "reference c/s",
+                "speedup",
+                "vs seed",
+                "cycles",
+            ],
             rows,
         ),
     )
@@ -141,4 +214,11 @@ def test_kernel_speed_smoke():
         assert report[name]["speedup"] >= floor, (
             f"{name}: event kernel only {report[name]['speedup']}x the"
             f" reference (floor {floor}x)"
+        )
+    for name, seed_cps in SEED_CPS.items():
+        vs_seed = report[name]["vs_seed"]
+        assert vs_seed >= SEED_TARGET, (
+            f"{name}: event kernel at {vs_seed}x the seed commit's"
+            f" {seed_cps:,} c/s (target {SEED_TARGET}x); saturation"
+            f" parking is not paying for itself"
         )

@@ -25,6 +25,8 @@ import pytest
 from benchmarks.conftest import emit, format_table
 from repro.experiments import ScenarioSpec, Sweep, SweepRunner
 
+pytestmark = pytest.mark.perf
+
 LOADS = (0.15, 0.30, 0.45, 0.55, 0.70, 0.90)
 PACKETS = 1200
 LENGTH = 8

@@ -21,6 +21,8 @@ from repro.core.config import paper_platform_config
 from repro.fpga.costs import control_cost, tg_cost, tr_cost
 from repro.fpga.synthesis import synthesize
 
+pytestmark = pytest.mark.perf
+
 #: (device row, paper slices, paper % of the FPGA)
 PAPER_TABLE1 = [
     ("TG stochastic", 719, 7.8),

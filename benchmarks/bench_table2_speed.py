@@ -30,6 +30,8 @@ from repro.core.platform import build_platform
 from repro.noc.routing import paper_routing
 from repro.noc.topology import paper_topology
 
+pytestmark = pytest.mark.perf
+
 
 def test_table2_speed_comparison(benchmark):
     measurements = measure_engine_speeds(

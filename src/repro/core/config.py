@@ -538,11 +538,14 @@ def generic_platform_config(
     synthetic-workload setup for fabric comparisons.
 
     ``routing="auto"`` picks a deadlock-free default per family: the
-    cyclic fabrics (ring, spidergon) take up*/down* tables — plain
-    BFS shortest paths close a channel-dependency cycle there — and
-    everything else takes shortest paths.  Explicit ``routing`` specs
-    (``shortest``, ``updown``, ``multipath[:k]``) override the choice;
-    the platform's channel-dependency check still vets the result.
+    cyclic fabrics (ring, spidergon, torus) take up*/down* tables —
+    plain BFS shortest paths close a channel-dependency cycle there
+    (for the torus the wrap-around channels do it: shortest-path
+    tables pass the dependency check only on the smallest grids, and
+    e.g. ``torus:4:5`` or ``torus:5:5`` cycle) — and everything else
+    takes shortest paths.  Explicit ``routing`` specs (``shortest``,
+    ``updown``, ``multipath[:k]``) override the choice; the
+    platform's channel-dependency check still vets the result.
 
     Per-TG seed registers come from ``seeds`` when given, else from
     :func:`repro.traffic.rng.derive_stream_seed` so generators never
@@ -561,7 +564,9 @@ def generic_platform_config(
     if routing == "auto":
         family = topo.name.rstrip("0123456789x")
         routing = (
-            "updown" if family in ("ring", "spidergon") else "shortest"
+            "updown"
+            if family in ("ring", "spidergon", "torus")
+            else "shortest"
         )
     if seeds is not None and len(seeds) != n_nodes:
         raise ConfigError(

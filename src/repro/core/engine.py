@@ -20,14 +20,24 @@ from repro.core.platform import EmulationPlatform
 
 @dataclass
 class EngineResult:
-    """Outcome of one emulation run."""
+    """Outcome of one emulation run.
+
+    ``completed`` is True only when the traffic budget is exhausted
+    *and* the network drained — it is always ``budget_done and
+    drained``.  A ``drain=False`` run that stops at emission end with
+    flits still in flight therefore reports ``budget_done=True,
+    drained=False, completed=False``; a run cut short by
+    ``max_cycles``/``max_packets`` reports ``budget_done=False``.
+    """
 
     cycles: int
     packets_sent: int
     packets_received: int
     wall_seconds: float
     f_clk_hz: float
-    completed: bool  # traffic budget exhausted and network drained
+    completed: bool  # budget_done and drained
+    budget_done: bool = False  # every TG budget/trace exhausted
+    drained: bool = False  # no flit queued, buffered or in flight
 
     @property
     def emulated_seconds(self) -> float:
@@ -74,10 +84,14 @@ class EmulationEngine:
 
         ``max_packets`` stops once that many packets have been
         *received* platform-wide (the "number of sent packets" axis of
-        Slide 20 is swept by setting TG budgets instead).  The
-        completion counters are O(1), so checks default to every cycle
-        (``check_interval=1``); raise it only to amortise the residual
-        per-check Python cost on huge runs.
+        Slide 20 is swept by setting TG budgets instead).  The stop is
+        checked every cycle regardless of ``check_interval``, so the
+        overshoot is bounded by the deliveries of the final cycle
+        (several receptors can each complete a packet in the same
+        cycle), never by the check quantisation.  The remaining
+        completion counters are O(1), so the other checks default to
+        every cycle (``check_interval=1``); raise it only to amortise
+        the residual per-check Python cost on huge runs.
 
         ``fast_forward`` lets the engine jump the emulated clock over
         quiescent stretches (see
@@ -106,7 +120,6 @@ class EmulationEngine:
             None if max_cycles is None else start_cycle + max_cycles
         )
         started = time.perf_counter()
-        completed = False
         since_check = 0
         gens_done = False
         last_received = platform.packets_received
@@ -125,13 +138,19 @@ class EmulationEngine:
             net_step()
             if limit_cycle is not None and network.cycle >= limit_cycle:
                 break
+            if (
+                max_packets is not None
+                and platform._packets_received >= max_packets
+            ):
+                # Checked every cycle: quantising this to
+                # check_interval would overshoot the packet budget by
+                # up to check_interval - 1 deliveries.
+                break
             since_check += 1
             if since_check < check_interval:
                 continue
             since_check = 0
             received = platform._packets_received
-            if max_packets is not None and received >= max_packets:
-                break
             if not drain:
                 # Emission-phase timing: stop the moment the budgets
                 # are exhausted, drained or not.  Generators cannot
@@ -140,7 +159,6 @@ class EmulationEngine:
                 if not gens_done:
                     gens_done = platform.generators_done
                 if gens_done:
-                    completed = True
                     break
             if network._in_flight_flits == 0:
                 # Quiescent fabric: the (rare) slow-path checks.
@@ -149,7 +167,6 @@ class EmulationEngine:
                 if not gens_done:
                     gens_done = platform.generators_done
                 if gens_done and network.is_drained:
-                    completed = True
                     break
                 if skip_idle and platform.idle_fast_forward(limit_cycle):
                     # The jump is idle time, not stagnation: restart
@@ -177,11 +194,15 @@ class EmulationEngine:
                 )
         wall = time.perf_counter() - started
         platform.control.stop()
+        budget_done = gens_done or platform.generators_done
+        drained = network.is_drained
         return EngineResult(
             cycles=platform.cycle - start_cycle,
             packets_sent=platform.packets_sent,
             packets_received=platform.packets_received,
             wall_seconds=wall,
             f_clk_hz=platform.config.f_clk_hz,
-            completed=completed or platform.is_done,
+            completed=budget_done and drained,
+            budget_done=budget_done,
+            drained=drained,
         )

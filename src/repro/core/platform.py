@@ -78,6 +78,13 @@ class EmulationPlatform:
         for generator in generators:
             generator.on_count = self._count_sent
             generator.on_wake = self._wake_generators
+            # The platform clock enables backpressure parking: a
+            # generator facing a full NI queue stops being polled (the
+            # NI drain watch wakes it) and bulk-settles its stall
+            # ticks; control operations use the clock to settle
+            # mid-stretch.  Standalone generators (no clock) keep the
+            # per-cycle behaviour.
+            generator._clock = self._now_cycle
         for receptor in receptors:
             receptor.on_count = self._count_received
         # Earliest cycle at which any generator could act (emit or
@@ -85,6 +92,9 @@ class EmulationPlatform:
         # then.  Control operations invalidate it via the wake hook.
         self._next_gen_poll = 0
         self._attach_devices()
+
+    def _now_cycle(self) -> int:
+        return self.network.cycle
 
     def _count_sent(self, delta: int) -> None:
         self._packets_sent += delta
@@ -191,6 +201,10 @@ class EmulationPlatform:
             target = limit_cycle
         if target <= now:
             return 0
+        # Credits still returning upstream are the only scheduled
+        # events a quiescent fabric can hold; settle the ones the jump
+        # would skip over (invisible until the next flit moves).
+        network._flush_credits_until(target)
         network.cycle = target
         return target - now
 

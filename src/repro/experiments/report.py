@@ -102,11 +102,14 @@ def aggregate(
     """Group results by spec fields and aggregate metric statistics.
 
     ``by`` names row fields (spec fields, ``traffic_params.<name>``,
-    even metrics); ``metrics`` defaults to every numeric metric
-    present; ``stats`` picks from ``mean``, ``min``, ``max``,
-    ``count`` and ``pNN`` percentiles (``p50``, ``p95``, ...).
-    Output rows are sorted by group key and carry columns
-    ``<metric>.<stat>``.
+    even metrics); ``metrics`` defaults to every metric name that
+    carries a numeric value in *any* result (first-seen order across
+    the sweep — a metric that is ``None`` in some scenarios, e.g.
+    ``p50_latency`` without a latency histogram, still aggregates
+    over the scenarios that do report it); ``stats`` picks from
+    ``mean``, ``min``, ``max``, ``count`` and ``pNN`` percentiles
+    (``p50``, ``p95``, ...).  Output rows are sorted by group key and
+    carry columns ``<metric>.<stat>``.
     """
     if not by:
         raise ConfigError("aggregate needs at least one group-by field")
@@ -114,13 +117,17 @@ def aggregate(
     if not rows:
         return []
     if metrics is None:
-        sample = results[0].metrics
-        metrics = [
-            name
-            for name, value in sample.items()
-            if isinstance(value, (int, float))
-            and not isinstance(value, bool)
-        ]
+        metrics = []
+        seen = set()
+        for result in results:
+            for name, value in result.metrics.items():
+                if (
+                    name not in seen
+                    and isinstance(value, (int, float))
+                    and not isinstance(value, bool)
+                ):
+                    seen.add(name)
+                    metrics.append(name)
     groups: Dict[Tuple, List[Mapping[str, Any]]] = {}
     for row in rows:
         groups.setdefault(_group_key(row, by), []).append(row)

@@ -88,8 +88,10 @@ class ScenarioSpec:
     hashable).
 
     ``routing="auto"`` resolves per topology: the paper platform takes
-    its overlapping route case, cyclic fabrics (ring, spidergon) take
-    deadlock-free up*/down* tables, everything else shortest paths.
+    its overlapping route case, cyclic fabrics (ring, spidergon,
+    torus — the torus wrap-around channels cycle under BFS shortest
+    paths) take deadlock-free up*/down* tables, everything else
+    shortest paths.
     """
 
     topology: str = "paper"

@@ -34,10 +34,10 @@ class Link:
         "name",
         "_in_flight",
         "_credits_in_flight",
-        "on_flit_scheduled",
-        "on_credit_scheduled",
-        "flit_armed",
-        "credit_armed",
+        "wheel",
+        "wheel_size",
+        "sink",
+        "wire_count",
         "flits_carried",
         "busy_cycles",
         "stats_since",
@@ -51,17 +51,19 @@ class Link:
         self.name = name
         self._in_flight: Deque[Tuple[int, Flit]] = deque()
         self._credits_in_flight: Deque[Tuple[int, int]] = deque()
-        # Event-driven scheduling hooks (set by the network): called
-        # with the arrival cycle when an idle queue starts a flight, so
-        # the network's armed sets learn this link needs service.  The
-        # armed flags are owned cooperatively: the link sets one when
-        # it fires the hook, the network clears it when it retires the
-        # link from its armed set (lazily, so a link under sustained
-        # traffic arms exactly once).
-        self.on_flit_scheduled: Optional[Callable[[int], None]] = None
-        self.on_credit_scheduled: Optional[Callable[[int], None]] = None
-        self.flit_armed = False
-        self.credit_armed = False
+        # Delivery-wheel wiring (set by the network).  A network-wired
+        # link does not queue flights in its own deques: the per-hop
+        # hot paths append ``(link, flit)`` straight into the
+        # network's arrival-cycle ring buffer (``wheel``, a list of
+        # ``wheel_size`` slots) and the delivery phase hands arrivals
+        # to ``sink``.  ``wire_count`` tracks the flits in flight on
+        # this link for the occupancy statistics.  Standalone links
+        # (``wheel is None``) keep the deque behaviour
+        # (:meth:`deliver` / :meth:`collect_credits`).
+        self.wheel: Optional[List[List[Tuple["Link", Flit]]]] = None
+        self.wheel_size = 0
+        self.sink: Optional[Callable[[Flit, int], None]] = None
+        self.wire_count = 0
         # Statistics.
         self.flits_carried = 0
         self.busy_cycles = 0
@@ -79,10 +81,14 @@ class Link:
                 f" {now}; links carry one flit per cycle"
             )
         self._last_send_cycle = now
-        self._in_flight.append((now + self.delay, flit))
-        if not self.flit_armed and self.on_flit_scheduled is not None:
-            self.flit_armed = True
-            self.on_flit_scheduled(now + self.delay)
+        wheel = self.wheel
+        if wheel is not None:
+            wheel[(now + self.delay) % self.wheel_size].append(
+                (self, flit)
+            )
+            self.wire_count += 1
+        else:
+            self._in_flight.append((now + self.delay, flit))
         self.flits_carried += 1
         self.busy_cycles += 1
 
@@ -96,7 +102,7 @@ class Link:
     @property
     def occupancy(self) -> int:
         """Number of flits currently in flight."""
-        return len(self._in_flight)
+        return len(self._in_flight) + self.wire_count
 
     # ------------------------------------------------------------------
     # Upstream credit path
@@ -104,9 +110,6 @@ class Link:
     def return_credit(self, now: int, count: int = 1) -> None:
         """Send ``count`` credits upstream; they arrive ``delay`` later."""
         self._credits_in_flight.append((now + self.delay, count))
-        if not self.credit_armed and self.on_credit_scheduled is not None:
-            self.credit_armed = True
-            self.on_credit_scheduled(now + self.delay)
 
     def collect_credits(self, now: int) -> int:
         """Number of credits that have completed the return trip."""

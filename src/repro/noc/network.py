@@ -30,7 +30,7 @@ bit-identical cycle behaviour (see
 from __future__ import annotations
 
 from functools import partial
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.noc.flit import Flit, Packet
 from repro.noc.link import Link
@@ -98,71 +98,115 @@ class Network:
         #: Map from a directed switch pair (a, b) to the links carrying
         #: a -> b traffic, for link-load monitoring (Slide 19's 90% links).
         self.switch_links: Dict[Tuple[int, int], List[Link]] = {}
-        # Per-link upstream credit sink: called with the credit count.
-        self._credit_sinks: List[Callable[[int], None]] = []
         # Per-link downstream flit sink: called with (flit, now).
         self._flit_sinks: List[Callable[[Flit, int], None]] = []
-        # Event-driven scheduling state.  The active sets hold the ids
-        # of switches/NIs with buffered flits; the armed sets hold the
-        # indices of links with a non-empty flit/credit queue.  All
-        # four are fed by component wake-up hooks, so they stay
-        # consistent no matter which step path (event-driven or
-        # reference) drives the fabric.  ``_in_flight_flits`` counts
-        # every flit between an NI queue and reassembly, incremented on
-        # offer and decremented on ejection.
-        self._active_switches: Set[int] = set()
-        self._active_nis: Set[int] = set()
-        self._armed_flit_links: Set[int] = set()
-        self._armed_credit_links: Set[int] = set()
+        # Credit-return hook registrations deferred until the delivery
+        # wheels exist: (downstream switch, input port, link, credit
+        # target).  The target is structural — (output port object,
+        # owning switch, port index) for a switch upstream, (None, NI,
+        # 0) for an injection link — so the credit phase settles each
+        # return with one attribute add instead of a function call.
+        self._pending_credit_hooks: List[tuple] = []
+        # Event-driven scheduling state.  The active lists hold the
+        # switches/NIs with *actionable* work — buffered flits that
+        # are not known to be fully blocked — deduplicated by
+        # per-component flags, iterated and compacted as plain lists.
+        # Flits and credits in flight live in the delivery *wheels*:
+        # ring buffers indexed by arrival cycle modulo ``wheel_size``
+        # (one slot past the largest link delay).  A send appends
+        # ``(link, flit)`` to the arrival slot; a buffer pop appends
+        # the upstream credit target likewise.  Each cycle drains
+        # exactly its own slot — no per-link queues to scan, no event
+        # heap to re-key.  Both structures are fed by component hooks,
+        # so they stay consistent no matter which step path
+        # (event-driven or reference) drives the fabric.
+        # ``_in_flight_flits`` counts every flit between an NI queue
+        # and reassembly, incremented on offer and decremented on
+        # ejection.
+        self._active_switches: List[Switch] = []
+        self._active_nis: List[NetworkInterface] = []
         self._in_flight_flits = 0
         self._wire()
-        # Pre-zipped scan lists so the per-cycle loops touch each
-        # link's queues without repeated attribute lookups.
-        self._credit_scan = [
-            (link._credits_in_flight, link, sink)
-            for link, sink in zip(self.links, self._credit_sinks)
+        self._max_delay = max(
+            (link.delay for link in self.links), default=1
+        )
+        size = self._wheel_size = self._max_delay + 1
+        self._flit_wheel: List[List[tuple]] = [
+            [] for _ in range(size)
         ]
-        self._flit_scan = [
-            (link._in_flight, link, sink)
-            for link, sink in zip(self.links, self._flit_sinks)
+        self._credit_wheel: List[List[tuple]] = [
+            [] for _ in range(size)
         ]
+        for link, sink in zip(self.links, self._flit_sinks):
+            link.wheel = self._flit_wheel
+            link.wheel_size = size
+            link.sink = sink
+        for down, in_port, link, target in self._pending_credit_hooks:
+            down.connect_input_hook(
+                in_port, self._make_credit_hook(link.delay, target)
+            )
         for switch in self.switches:
-            switch._wake = self._make_wake_hook(
-                self._active_switches, switch.switch_id
-            )
-        for idx, link in enumerate(self.links):
-            link.on_flit_scheduled = self._make_arm_hook(
-                self._armed_flit_links, idx
-            )
-            link.on_credit_scheduled = self._make_arm_hook(
-                self._armed_credit_links, idx
-            )
-        for node, ni in enumerate(self.nis):
-            ni._notify_offer = self._make_offer_hook(node)
+            switch._wake = self._make_switch_wake(switch)
+            switch._clock = self._now
+        for ni in self.nis:
+            ni._notify_offer = self._make_offer_hook(ni)
+            ni._wake = self._make_ni_wake(ni)
+            ni._clock = self._now
         self.cycle = 0
 
-    @staticmethod
-    def _make_wake_hook(active: Set[int], member: int) -> Callable[[], None]:
+    def _now(self) -> int:
+        """Current cycle, handed to components as their clock.
+
+        During a step this is the cycle being processed; between steps
+        it is the next unprocessed cycle, so bulk settlement through
+        ``_now() - 1`` covers exactly the cycles already emulated.
+        """
+        return self.cycle
+
+    def _make_switch_wake(self, switch: Switch) -> Callable[[], None]:
+        active = self._active_switches
+
         def wake() -> None:
-            active.add(member)
+            if not switch._active:
+                switch._active = True
+                active.append(switch)
 
         return wake
 
-    @staticmethod
-    def _make_arm_hook(
-        armed: Set[int], idx: int
+    def _make_ni_wake(
+        self, ni: NetworkInterface
+    ) -> Callable[[], None]:
+        active = self._active_nis
+
+        def wake() -> None:
+            if not ni._active:
+                ni._active = True
+                active.append(ni)
+
+        return wake
+
+    def _make_credit_hook(
+        self, delay: int, entry: tuple
     ) -> Callable[[int], None]:
-        def arm(arrival: int) -> None:
-            armed.add(idx)
+        """Credit-return hook: schedule ``entry`` ``delay`` cycles out."""
+        wheel = self._credit_wheel
+        size = self._wheel_size
 
-        return arm
+        def return_credit(now: int) -> None:
+            wheel[(now + delay) % size].append(entry)
 
-    def _make_offer_hook(self, node: int) -> Callable[[int], None]:
+        return return_credit
+
+    def _make_offer_hook(
+        self, ni: NetworkInterface
+    ) -> Callable[[int], None]:
         active = self._active_nis
 
         def offered(n_flits: int) -> None:
             self._in_flight_flits += n_flits
-            active.add(node)
+            if not ni._active:
+                ni._active = True
+                active.append(ni)
 
         return offered
 
@@ -239,10 +283,11 @@ class Network:
             credits=down.inputs[in_port].capacity,
             link=link,
         )
-        down.connect_input_hook(in_port, link.return_credit)
         self.links.append(link)
         # partial() binds are C-level: no extra Python frame per event.
-        self._credit_sinks.append(partial(up.credit, out_port))
+        self._pending_credit_hooks.append(
+            (down, in_port, link, (up._outputs[out_port], up, out_port))
+        )
         self._flit_sinks.append(partial(down.receive, in_port))
 
     def _add_ejection(
@@ -251,10 +296,10 @@ class Network:
         up = self.switches[a]
         rx = self.rx[node]
         # A traffic receptor consumes one flit per cycle and never
-        # backpressures, hence infinite credits on ejection ports.
+        # backpressures, hence infinite credits on ejection ports
+        # (whose links consequently never schedule a credit return).
         up.connect_output(out_port, link.send, credits=None, link=link)
         self.links.append(link)
-        self._credit_sinks.append(lambda n: None)
         self._flit_sinks.append(partial(self._eject, rx))
 
     def _eject(self, rx: ReassemblyBuffer, flit: Flit, now: int) -> None:
@@ -268,9 +313,10 @@ class Network:
         ni = self.nis[node]
         down = self.switches[switch]
         ni.connect(link, credits=down.inputs[in_port].capacity)
-        down.connect_input_hook(in_port, link.return_credit)
         self.links.append(link)
-        self._credit_sinks.append(ni.credit)
+        self._pending_credit_hooks.append(
+            (down, in_port, link, (None, ni, 0))
+        )
         self._flit_sinks.append(partial(down.receive, in_port))
 
     # ------------------------------------------------------------------
@@ -290,85 +336,92 @@ class Network:
         no earlier than the following cycle, giving the registered
         one-cycle-per-hop behaviour of the hardware switches.
 
-        Each phase visits only components with work: armed links,
-        then switches/NIs from the active sets.  Iteration order
-        within a phase is free — components of one phase never
-        interact with each other inside a cycle (sends land on links,
-        never directly on another switch).  Retirement is deferred and
-        lazy: a link whose queue is found empty is retired on the next
-        visit, so sustained traffic arms each link exactly once instead
-        of churning the sets every cycle.
+        Each phase visits only components with *actionable* work:
+        armed links, then switches/NIs from the active lists.
+        Iteration order within a phase is free — components of one
+        phase never interact with each other inside a cycle (sends
+        land on links, never directly on another switch).  Retirement
+        is deferred and lazy: a link whose queue is found empty is
+        dropped during the phase's in-place compaction, so sustained
+        traffic arms each link exactly once instead of churning the
+        lists every cycle.
+
+        A busy switch that moved nothing *parks*: it leaves the active
+        list and is woken only by the event that can change its
+        outcome (a credit return on a starved output, a flit into an
+        empty buffer, any arrival under store-and-forward), with its
+        per-cycle stall statistics settled in bulk on wake-up.  An NI
+        whose inject stalled on credits parks the same way.  Parked
+        components cost zero Python per cycle — at saturation this is
+        the headroom activity-proportional scheduling alone cannot
+        reach.
         """
         now = self.cycle
-        armed = self._armed_credit_links
-        if armed:
-            scan = self._credit_scan
-            retire = None
-            for idx in armed:
-                queue, link, sink = scan[idx]
-                if not queue:
-                    if retire is None:
-                        retire = [idx]
-                    else:
-                        retire.append(idx)
-                elif queue[0][0] <= now:
-                    total = 0
-                    pop = queue.popleft
-                    while queue and queue[0][0] <= now:
-                        total += pop()[1]
-                    sink(total)
-            if retire is not None:
-                for idx in retire:
-                    armed.discard(idx)
-                    scan[idx][1].credit_armed = False
+        size = self._wheel_size
+        slot = self._credit_wheel[now % size]
+        if slot:
+            for out, target, port in slot:
+                if out is not None:
+                    # Inter-switch link: settle the return straight
+                    # into the upstream output port's counter.
+                    out.credits += 1
+                    if target._parked and (
+                        port in target._park_wait_ports
+                    ):
+                        target._credit_wake()
+                else:
+                    # Injection link: the NI's credit counter.
+                    target._credits += 1
+                    if target._parked:
+                        target._credit_unpark()
+            del slot[:]
         moved = 0
         active = self._active_switches
         if active:
-            switches = self.switches
-            retire = None
-            for sid in active:
-                switch = switches[sid]
-                moved += switch.traverse(now)
-                if not switch._buffered:
-                    if retire is None:
-                        retire = [sid]
-                    else:
-                        retire.append(sid)
-            if retire is not None:
-                active.difference_update(retire)
-        armed = self._armed_flit_links
-        if armed:
-            scan = self._flit_scan
-            retire = None
-            for idx in armed:
-                queue, link, sink = scan[idx]
-                if not queue:
-                    if retire is None:
-                        retire = [idx]
-                    else:
-                        retire.append(idx)
-                elif queue[0][0] <= now:
-                    pop = queue.popleft
-                    while queue and queue[0][0] <= now:
-                        sink(pop()[1], now)
-            if retire is not None:
-                for idx in retire:
-                    armed.discard(idx)
-                    scan[idx][1].flit_armed = False
-        active_nis = self._active_nis
-        if active_nis:
-            nis = self.nis
-            retire = None
-            for node in active_nis:
-                ni = nis[node]
-                ni.inject(now)
-                if not ni._flits:
-                    if retire is None:
-                        retire = [node]
-                    else:
-                        retire.append(node)
-            if retire is not None:
-                active_nis.difference_update(retire)
+            retire = False
+            for switch in active:
+                m = switch.traverse(now)
+                if m:
+                    moved += m
+                    if not switch._buffered:
+                        switch._active = False
+                        retire = True
+                elif switch._buffered:
+                    # Busy but fully blocked: park until the
+                    # unblocking event.
+                    switch._active = False
+                    switch._park(now)
+                    retire = True
+                else:
+                    switch._active = False
+                    retire = True
+            if retire:
+                active[:] = [sw for sw in active if sw._active]
+        slot = self._flit_wheel[now % size]
+        if slot:
+            for link, flit in slot:
+                link.wire_count -= 1
+                link.sink(flit, now)
+            del slot[:]
+        active = self._active_nis
+        if active:
+            retire = False
+            for ni in active:
+                if ni.inject(now):
+                    if not ni._flits:
+                        ni._active = False
+                        retire = True
+                elif ni._flits:
+                    # Credit-starved: park until the injection link
+                    # returns a credit (or a fresh offer arrives).
+                    ni._active = False
+                    ni._park(now)
+                    retire = True
+                else:
+                    ni._active = False
+                    retire = True
+            if retire:
+                active[:] = [ni for ni in active if ni._active]
         if self.sample_buffers:
             for switch in self.switches:
                 switch.sample_buffers()
@@ -382,34 +435,78 @@ class Network:
         link, switch and NI each cycle regardless of activity, so it is
         size-proportional but trivially correct.  The wake-up hooks and
         the in-flight counter are maintained by the components
-        themselves, so the event-driven bookkeeping stays consistent
-        even when this path drives the fabric.
+        themselves, and components parked by the event-driven path
+        self-heal (settle and unpark) when this path traverses or
+        injects them, so the bookkeeping stays consistent even when
+        the two paths alternate on one fabric.
         """
         now = self.cycle
-        for queue, link, sink in self._credit_scan:
-            if queue and queue[0][0] <= now:
-                sink(link.collect_credits(now))
+        self._drain_credit_slot(now)
         moved = 0
         active = self._active_switches
+        compact = False
         for switch in self.switches:
             moved += switch.traverse(now)
-            if not switch._buffered:
-                active.discard(switch.switch_id)
-        for queue, link, sink in self._flit_scan:
-            if queue and queue[0][0] <= now:
-                for flit in link.deliver(now):
-                    sink(flit, now)
+            if switch._buffered:
+                if not switch._active:
+                    switch._active = True
+                    active.append(switch)
+            elif switch._active:
+                switch._active = False
+                compact = True
+        if compact:
+            active[:] = [sw for sw in active if sw._active]
+        self._drain_flit_slot(now)
         active_nis = self._active_nis
+        compact = False
         for ni in self.nis:
             if ni._flits:
                 ni.inject(now)
-            if not ni._flits:
-                active_nis.discard(ni.node)
+            if ni._flits:
+                if not ni._active:
+                    ni._active = True
+                    active_nis.append(ni)
+            elif ni._active:
+                ni._active = False
+                compact = True
+        if compact:
+            active_nis[:] = [ni for ni in active_nis if ni._active]
         if self.sample_buffers:
             for switch in self.switches:
                 switch.sample_buffers()
         self.cycle = now + 1
         return moved
+
+    def _drain_credit_slot(self, now: int) -> None:
+        """Deliver the credits arriving at ``now`` (reference path).
+
+        Same semantics as the block inlined in :meth:`step` — keep the
+        two in lockstep: the parked-wake conditions here are what the
+        parity suites compare against.
+        """
+        slot = self._credit_wheel[now % self._wheel_size]
+        if slot:
+            for out, target, port in slot:
+                if out is not None:
+                    out.credits += 1
+                    if target._parked and (
+                        port in target._park_wait_ports
+                    ):
+                        target._credit_wake()
+                else:
+                    target._credits += 1
+                    if target._parked:
+                        target._credit_unpark()
+            del slot[:]
+
+    def _drain_flit_slot(self, now: int) -> None:
+        """Deliver the flits arriving at ``now`` (reference path)."""
+        slot = self._flit_wheel[now % self._wheel_size]
+        if slot:
+            for link, flit in slot:
+                link.wire_count -= 1
+                link.sink(flit, now)
+            del slot[:]
 
     def run(self, cycles: int) -> None:
         """Advance the fabric by ``cycles`` clock cycles."""
@@ -438,6 +535,36 @@ class Network:
         total += sum(len(buf) for sw in self.switches for buf in sw.inputs)
         total += sum(link.occupancy for link in self.links)
         return total
+
+    def _flush_credits_until(self, target: int) -> None:
+        """Deliver every credit arriving in ``(cycle, target]`` now.
+
+        Idle fast-forward helper: with the fabric quiescent nothing
+        can observe a credit counter until the next flit moves (at or
+        after ``target``), so early delivery is invisible — and with
+        no flit in flight nothing is parked, so no wake-up is due.
+        Credits scheduled beyond ``target`` stay in their wheel slots,
+        which remain correctly indexed after the jump (every pending
+        arrival lies within one wheel revolution of the clock).
+
+        Offset 0 matters: a credit can be due exactly at the current
+        (not yet processed) cycle, whose slot only the skipped-over
+        step would have drained.
+        """
+        size = self._wheel_size
+        now = self.cycle
+        wheel = self._credit_wheel
+        for offset in range(size):
+            if now + offset > target:
+                break
+            slot = wheel[(now + offset) % size]
+            if slot:
+                for out, target_obj, _port in slot:
+                    if out is not None:
+                        out.credits += 1
+                    else:
+                        target_obj._credits += 1
+                del slot[:]
 
     @property
     def quiescent(self) -> bool:

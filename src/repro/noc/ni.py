@@ -34,10 +34,17 @@ class NetworkInterface:
         "_link",
         "_credits",
         "_notify_offer",
+        "_wake",
+        "_clock",
+        "_active",
+        "_parked",
+        "_park_cycle",
+        "_drain_level",
+        "_on_drain",
         "offered_packets",
         "injected_flits",
         "injected_packets",
-        "stall_cycles",
+        "_stall_cycles",
         "peak_queue",
     )
 
@@ -47,15 +54,32 @@ class NetworkInterface:
         self._flits: Deque[Flit] = deque()
         self._link: Optional[Link] = None
         self._credits = 0
-        # Event-driven scheduling hook (set by the network): called
-        # with the queued flit count on every offer, so the network can
-        # bump its in-flight counter and mark this NI active.
+        # Event-driven scheduling hooks (set by the network): the
+        # offer hook is called with the queued flit count on every
+        # offer, so the network can bump its in-flight counter and
+        # mark this NI active; the wake hook re-activates a parked NI.
+        # ``_clock`` reads the network cycle for bulk settlement.
         self._notify_offer: Optional[Callable[[int], None]] = None
+        self._wake: Optional[Callable[[], None]] = None
+        self._clock: Optional[Callable[[], int]] = None
+        self._active = False
+        # Parking state: a credit-starved NI (queued flits, zero
+        # credits) leaves the network's active set; only the credit
+        # return of its injection link (or a fresh offer, or a reset)
+        # can change its outcome, and per-cycle stall statistics for
+        # the parked stretch settle in bulk on wake-up.
+        self._parked = False
+        self._park_cycle = 0
+        # Source-queue drain watch: the traffic generator arms it to
+        # learn when the queue drops below its backpressure limit (see
+        # TrafficGenerator), without polling every cycle.
+        self._drain_level: Optional[int] = None
+        self._on_drain: Optional[Callable[[int], None]] = None
         # Statistics.
         self.offered_packets = 0
         self.injected_flits = 0
         self.injected_packets = 0
-        self.stall_cycles = 0
+        self._stall_cycles = 0
         self.peak_queue = 0
 
     # ------------------------------------------------------------------
@@ -76,6 +100,12 @@ class NetworkInterface:
         self._flits.extend(packet.flits())
         if len(self._flits) > self.peak_queue:
             self.peak_queue = len(self._flits)
+        if self._parked:
+            # Offers land before this cycle's inject phase, which will
+            # run again once the network re-activates the NI below —
+            # settlement therefore stops at the previous cycle.
+            self._settle(self._clock() - 1)
+            self._parked = False
         if self._notify_offer is not None:
             self._notify_offer(packet.length)
 
@@ -93,32 +123,122 @@ class NetworkInterface:
     # ------------------------------------------------------------------
     def credit(self, count: int = 1) -> None:
         self._credits += count
+        if self._parked:
+            self._credit_unpark()
+
+    def _credit_unpark(self) -> None:
+        """Wake from parked: the starved-for credit arrived.
+
+        Credits arrive in the network's first phase, before this
+        cycle's inject phase: settle through the previous cycle and
+        rejoin the active set in time to inject this cycle.
+        """
+        self._settle(self._clock() - 1)
+        self._parked = False
+        if self._wake is not None:
+            self._wake()
 
     def inject(self, now: int) -> bool:
         """Try to put one flit on the wire; return True on success."""
+        if self._parked:
+            # Self-healing for the scan-everything reference path: a
+            # parked NI injected by it settles first, then this call
+            # ticks the current cycle itself.
+            self._settle(now - 1)
+            self._parked = False
         if not self._flits:
             return False
         if self._link is None:
             raise RuntimeError(f"{self.name} injects but is not connected")
         if self._credits <= 0:
-            self.stall_cycles += 1
+            self._stall_cycles += 1
             self._flits[0].stall_cycles += 1
             return False
         flit = self._flits.popleft()
         if flit.is_head:
             flit.packet.wire_entry_cycle = now
-        self._link.send(flit, now)
+        # Link.send inlined (one injection per NI per cycle is a hot
+        # path at saturation); the call is kept only for standalone
+        # links and to raise the protocol error on a double send.
+        link = self._link
+        if link.wheel is None:
+            link.send(flit, now)
+        else:
+            if link._last_send_cycle == now:
+                link.send(flit, now)  # raises the protocol error
+            link._last_send_cycle = now
+            link.wheel[(now + link.delay) % link.wheel_size].append(
+                (link, flit)
+            )
+            link.wire_count += 1
+            link.flits_carried += 1
+            link.busy_cycles += 1
         self._credits -= 1
         self.injected_flits += 1
         if flit.is_tail:
             self.injected_packets += 1
+        if self._drain_level is not None and len(self._flits) == (
+            self._drain_level - 1
+        ):
+            # The source queue just dropped below the generator's
+            # backpressure limit: fire the one-shot drain watch.
+            callback = self._on_drain
+            self._drain_level = None
+            self._on_drain = None
+            callback(now)
         return True
 
+    # ------------------------------------------------------------------
+    # Parking (driven by the network's event-driven step)
+    # ------------------------------------------------------------------
+    def _park(self, now: int) -> None:
+        """Leave the active set after a credit-starved inject at ``now``.
+
+        While parked the head flit and the stall counter would tick
+        identically every cycle (credits only arrive through
+        :meth:`credit`, flits only leave through :meth:`inject`), so
+        the whole stretch settles in one step on wake-up.
+        """
+        self._parked = True
+        self._park_cycle = now
+
+    def _settle(self, until: int) -> None:
+        """Account stalls of parked cycles ``park_cycle+1..until``."""
+        elapsed = until - self._park_cycle
+        if elapsed <= 0:
+            return
+        self._park_cycle = until
+        self._stall_cycles += elapsed
+        self._flits[0].stall_cycles += elapsed
+
+    @property
+    def stall_cycles(self) -> int:
+        """Inject attempts stalled on credits (settled through the
+        last emulated cycle, including any still-parked stretch)."""
+        if self._parked and self._clock is not None:
+            pending = self._clock() - 1 - self._park_cycle
+            if pending > 0:
+                return self._stall_cycles + pending
+        return self._stall_cycles
+
+    def watch_drain(
+        self, level: int, callback: Callable[[int], None]
+    ) -> None:
+        """Arm a one-shot callback for the queue dropping below
+        ``level`` flits; fired with the cycle of the crossing pop."""
+        self._drain_level = level
+        self._on_drain = callback
+
     def reset_stats(self) -> None:
+        if self._parked and self._clock is not None:
+            # Per-flit stall counters survive a statistics reset:
+            # settle the parked stretch into them, zero the NI
+            # counter, and keep accumulating into the fresh window.
+            self._settle(self._clock() - 1)
         self.offered_packets = 0
         self.injected_flits = 0
         self.injected_packets = 0
-        self.stall_cycles = 0
+        self._stall_cycles = 0
         self.peak_queue = len(self._flits)
 
 

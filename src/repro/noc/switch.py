@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.noc.arbiter import Arbiter, make_arbiter
 from repro.noc.buffer import BufferFullError, FlitBuffer
@@ -88,16 +88,26 @@ class Switch:
         "routing",
         "inputs",
         "arbiters",
+        "_in_scan",
         "_outputs",
         "_input_pop_hooks",
         "_input_route",
         "_buffered",
         "_wake",
+        "_clock",
+        "_active",
+        "_sf_mode",
+        "_parked",
+        "_park_cycle",
+        "_park_blocked",
+        "_park_credit_stalls",
+        "_park_wait_ports",
         "_requests",
         "_blocked_heads",
+        "_credit_blocked_ports",
         "flits_forwarded",
-        "blocked_flit_cycles",
-        "credit_stall_cycles",
+        "_blocked_flit_cycles",
+        "_credit_stall_cycles",
     )
 
     def __init__(
@@ -121,6 +131,12 @@ class Switch:
             make_arbiter(config.arbitration, config.n_inputs)
             for _ in range(config.n_outputs)
         ]
+        # Pre-zipped (index, buffer, fifo) triples: the traverse scan
+        # touches each input without enumerate/attribute lookups (the
+        # deque identity is stable for the buffer's lifetime).
+        self._in_scan: List[tuple] = [
+            (i, buf, buf._fifo) for i, buf in enumerate(self.inputs)
+        ]
         self._outputs: List[Optional[_OutputPort]] = [
             None
         ] * config.n_outputs
@@ -134,18 +150,40 @@ class Switch:
         # (set when its HEAD flit is routed, cleared when TAIL leaves).
         self._input_route: List[Optional[int]] = [None] * config.n_inputs
         # Incremental flit count across all input buffers, and the
-        # network's wake-up hook fired on the empty -> busy transition
-        # (event-driven scheduling: an idle switch costs nothing).
+        # network's wake-up hook fired whenever the switch needs to
+        # (re)join the active set: on the empty -> busy transition and
+        # on unpark (event-driven scheduling: an idle or fully blocked
+        # switch costs nothing per cycle).  ``_clock`` reads the
+        # network cycle and gates parking: without it (standalone
+        # switches in unit tests) the switch never parks.
         self._buffered = 0
         self._wake: Optional[Callable[[], None]] = None
+        self._clock: Optional[Callable[[], int]] = None
+        self._active = False
+        self._sf_mode = config.mode is SwitchingMode.STORE_AND_FORWARD
+        # Parking state.  A switch whose every pending traverse is
+        # blocked (no credits, channel locked, store-and-forward
+        # waiting on a partial packet) leaves the network's active set
+        # and freezes here: the blocked heads of the parking cycle,
+        # how many of them stalled purely on credits, and the output
+        # ports whose credit return can unblock them.  Stall
+        # statistics for the parked stretch are bulk-settled on
+        # wake-up (see ``_settle``), so a parked cycle costs zero
+        # Python.
+        self._parked = False
+        self._park_cycle = 0  # last cycle whose stalls are settled
+        self._park_blocked: Tuple[Flit, ...] = ()
+        self._park_credit_stalls = 0
+        self._park_wait_ports: FrozenSet[int] = frozenset()
         # Scratch containers reused across traverse calls (cleared at
         # the start of each call) to keep allocations off the hot path.
         self._requests: Dict[int, List[int]] = {}
         self._blocked_heads: List[Flit] = []
+        self._credit_blocked_ports: List[int] = []
         # Statistics.
         self.flits_forwarded = 0
-        self.blocked_flit_cycles = 0  # head flit wanted to move, couldn't
-        self.credit_stall_cycles = 0  # subset blocked purely on credits
+        self._blocked_flit_cycles = 0  # head wanted to move, couldn't
+        self._credit_stall_cycles = 0  # subset blocked purely on credits
 
     # ------------------------------------------------------------------
     # Wiring (done once by the network)
@@ -224,8 +262,21 @@ class Switch:
         if len(fifo) > buf.peak_occupancy:
             buf.peak_occupancy = len(fifo)
         self._buffered += 1
-        if self._buffered == 1 and self._wake is not None:
-            self._wake()
+        if self._buffered == 1:
+            # Empty -> busy: an empty switch is never parked.
+            if self._wake is not None:
+                self._wake()
+        elif self._parked and (len(fifo) == 1 or self._sf_mode):
+            # A flit into a previously empty buffer creates a new head
+            # to route, and under store-and-forward any arrival can
+            # complete a waiting packet: wake up.  A flit landing
+            # behind an already blocked head changes nothing — stay
+            # parked.  The traverse of this cycle already passed, so
+            # settlement includes the current cycle.
+            self._settle(now)
+            self._parked = False
+            if self._wake is not None:
+                self._wake()
 
     def credit(self, port: int, count: int = 1) -> None:
         """Downstream freed ``count`` buffer slots behind output ``port``."""
@@ -233,6 +284,19 @@ class Switch:
         assert out is not None
         if not out.infinite_credits:
             out.credits += count
+        if self._parked and port in self._park_wait_ports:
+            self._credit_wake()
+
+    def _credit_wake(self) -> None:
+        """Wake from parked: the credit a blocked head starved for
+        arrived.  Credits return in the network's first phase, before
+        this cycle's traverse, so settlement stops at the previous
+        cycle and the switch re-enters the active set in time to move
+        the unblocked flit this cycle."""
+        self._settle(self._clock() - 1)
+        self._parked = False
+        if self._wake is not None:
+            self._wake()
 
     def _desired_output(self, input_port: int) -> Optional[int]:
         """Output the head flit of ``input_port`` wants, or None to wait.
@@ -282,19 +346,27 @@ class Switch:
         # Fast idle path: nothing buffered, nothing to do.
         if not self._buffered:
             return 0
+        if self._parked:
+            # Self-healing for the scan-everything reference path (and
+            # mixed stepping): a traverse on a parked switch settles
+            # the parked stretch first, then ticks this cycle itself.
+            self._settle(now - 1)
+            self._parked = False
         inputs = self.inputs
         outputs = self._outputs
         routes = self._input_route
         pop_hooks = self._input_pop_hooks
         requests = self._requests
         blocked_heads = self._blocked_heads
+        credit_ports = self._credit_blocked_ports
         if requests:
             requests.clear()
         if blocked_heads:
             blocked_heads.clear()
+        if credit_ports:
+            credit_ports.clear()
         moved = 0
-        for i, buf in enumerate(inputs):
-            fifo = buf._fifo
+        for i, buf, fifo in self._in_scan:
             if not fifo:
                 continue
             # Mid-packet flits follow the channel the HEAD opened; only
@@ -321,7 +393,7 @@ class Switch:
                         out.credits -= 1
                     else:
                         blocked_heads.append(flit)
-                        self.credit_stall_cycles += 1
+                        credit_ports.append(desired)
                         continue
                     # FlitBuffer.pop inlined (the other per-hop hot
                     # spot); the buffer is non-empty by construction.
@@ -340,19 +412,20 @@ class Switch:
                     if hook is not None:
                         hook(now)
                     link = out.link
-                    if link is None:
+                    if link is None or link.wheel is None:
                         out.send(flit, now)
                     else:
-                        # Link.send inlined: the third per-hop hot spot.
+                        # Link.send inlined: the third per-hop hot
+                        # spot.  The flit goes straight into the
+                        # network's delivery wheel slot for its
+                        # arrival cycle.
                         if link._last_send_cycle == now:
                             out.send(flit, now)  # raises the protocol error
                         link._last_send_cycle = now
-                        link._in_flight.append((now + link.delay, flit))
-                        if not link.flit_armed and (
-                            link.on_flit_scheduled is not None
-                        ):
-                            link.flit_armed = True
-                            link.on_flit_scheduled(now + link.delay)
+                        link.wheel[
+                            (now + link.delay) % link.wheel_size
+                        ].append((link, flit))
+                        link.wire_count += 1
                         link.flits_carried += 1
                         link.busy_cycles += 1
                     out.flits_sent += 1
@@ -364,7 +437,7 @@ class Switch:
                 continue
             if not out.infinite_credits and out.credits <= 0:
                 blocked_heads.append(fifo[0])
-                self.credit_stall_cycles += 1
+                credit_ports.append(desired)
                 continue
             if desired in requests:
                 requests[desired].append(i)
@@ -379,12 +452,37 @@ class Switch:
                     winner = out.lock
                 else:
                     winner = self.arbiters[port].grant(reqs)
-                flit = inputs[winner].pop()
+                # FlitBuffer.pop and Link.send inlined, as on the
+                # streaming path (head/tail flits come through here).
+                buf = inputs[winner]
+                fifo = buf._fifo
+                flit = fifo.popleft()
+                buf.total_pops += 1
+                counts = buf._pid_counts
+                if counts is not None:
+                    pid = flit.packet.pid
+                    remaining = counts[pid] - 1
+                    if remaining:
+                        counts[pid] = remaining
+                    else:
+                        del counts[pid]
                 self._buffered -= 1
                 hook = pop_hooks[winner]
                 if hook is not None:
                     hook(now)
-                out.send(flit, now)
+                link = out.link
+                if link is None or link.wheel is None:
+                    out.send(flit, now)
+                else:
+                    if link._last_send_cycle == now:
+                        out.send(flit, now)  # raises the protocol error
+                    link._last_send_cycle = now
+                    link.wheel[
+                        (now + link.delay) % link.wheel_size
+                    ].append((link, flit))
+                    link.wire_count += 1
+                    link.flits_carried += 1
+                    link.busy_cycles += 1
                 out.flits_sent += 1
                 if not out.infinite_credits:
                     out.credits -= 1
@@ -405,9 +503,61 @@ class Switch:
         if blocked_heads:
             for head in blocked_heads:
                 head.stall_cycles += 1
-            self.blocked_flit_cycles += len(blocked_heads)
+            self._blocked_flit_cycles += len(blocked_heads)
+            if credit_ports:
+                self._credit_stall_cycles += len(credit_ports)
         self.flits_forwarded += moved
         return moved
+
+    # ------------------------------------------------------------------
+    # Parking (driven by the network's event-driven step)
+    # ------------------------------------------------------------------
+    def _park(self, now: int) -> None:
+        """Freeze the blocked state of the traverse that just ran.
+
+        Called by the network when a busy switch moved nothing this
+        cycle: every non-empty input is then blocked (no credits,
+        channel locked by another wormhole, or store-and-forward
+        waiting on a partial packet), and — absent external events —
+        every later traverse would reproduce this cycle's outcome
+        exactly.  The switch leaves the active set; ``receive`` and
+        ``credit`` wake it on precisely the events that can change the
+        outcome, settling the per-cycle stall statistics for the whole
+        parked stretch in one step.
+        """
+        self._parked = True
+        self._park_cycle = now
+        self._park_blocked = tuple(self._blocked_heads)
+        ports = self._credit_blocked_ports
+        self._park_credit_stalls = len(ports)
+        self._park_wait_ports = frozenset(ports)
+
+    def _settle(self, until: int) -> None:
+        """Account the stalls of parked cycles ``park_cycle+1..until``.
+
+        Equivalent to running ``traverse`` for each of those cycles:
+        every frozen blocked head stalls once per cycle, the switch
+        counters advance by the same per-cycle deltas the parking
+        traverse produced.
+        """
+        elapsed = until - self._park_cycle
+        if elapsed <= 0:
+            return
+        self._park_cycle = until
+        blocked = self._park_blocked
+        if blocked:
+            for head in blocked:
+                head.stall_cycles += elapsed
+            self._blocked_flit_cycles += len(blocked) * elapsed
+            self._credit_stall_cycles += (
+                self._park_credit_stalls * elapsed
+            )
+
+    def _pending_park_cycles(self) -> int:
+        """Parked cycles whose stalls are not yet settled (read path)."""
+        if not self._parked or self._clock is None:
+            return 0
+        return max(0, self._clock() - 1 - self._park_cycle)
 
     # ------------------------------------------------------------------
     # Statistics
@@ -422,6 +572,28 @@ class Switch:
         """Flits currently sitting in this switch's input buffers."""
         return self._buffered
 
+    @property
+    def blocked_flit_cycles(self) -> int:
+        """Head-of-line blocking events (settled through the last
+        emulated cycle, including any still-parked stretch)."""
+        pending = self._pending_park_cycles()
+        if pending:
+            return self._blocked_flit_cycles + pending * len(
+                self._park_blocked
+            )
+        return self._blocked_flit_cycles
+
+    @property
+    def credit_stall_cycles(self) -> int:
+        """Subset of blocking events stalled purely on credits."""
+        pending = self._pending_park_cycles()
+        if pending:
+            return (
+                self._credit_stall_cycles
+                + pending * self._park_credit_stalls
+            )
+        return self._credit_stall_cycles
+
     def output_credits(self, port: int) -> Optional[int]:
         """Remaining credits of output ``port`` (None = infinite)."""
         out = self._outputs[port]
@@ -429,9 +601,16 @@ class Switch:
         return None if out.infinite_credits else out.credits
 
     def reset_stats(self) -> None:
+        if self._parked and self._clock is not None:
+            # Reset-while-parked: per-flit stall counters survive a
+            # statistics reset, so the parked stretch up to the reset
+            # must settle into them first; the switch counters are
+            # then zeroed and the (still valid) parked state keeps
+            # accumulating into the fresh window.
+            self._settle(self._clock() - 1)
         self.flits_forwarded = 0
-        self.blocked_flit_cycles = 0
-        self.credit_stall_cycles = 0
+        self._blocked_flit_cycles = 0
+        self._credit_stall_cycles = 0
         for buf in self.inputs:
             buf.reset_stats()
         for arb in self.arbiters:

@@ -10,6 +10,17 @@ Two complementary views of congestion are provided:
   paper's Slide 21 figure: the fraction of switch-traversal attempts
   that were blocked, ``blocked / (blocked + forwarded)``.  It is 0 in
   an idle network and approaches 1 as the loaded links saturate.
+
+Both views are *settlement-safe* under the event-driven kernel's
+component parking (see ``repro.noc.network``): a fully blocked switch
+or credit-starved NI leaves the per-cycle loop, and the stall ticks
+its flits and counters would have accumulated are settled in bulk on
+wake-up.  ``Flit.stall_cycles`` is therefore exact by the time a
+packet completes (a parked flit cannot be delivered without waking
+first), so :meth:`CongestionCounter.record` never sees a stale count;
+``Switch.blocked_flit_cycles`` and friends are exposed as
+settle-on-read properties, so :func:`network_congestion_rate` is exact
+at any observation point, even while components are still parked.
 """
 
 from __future__ import annotations

@@ -75,6 +75,17 @@ class TrafficGenerator:
         # Cycle before which the model is known silent, cached from
         # next_emission_cycle() so idle polls cost one comparison.
         self._silent_until = 0
+        # Backpressure parking: when the NI source queue is full, the
+        # generator stops being polled entirely (``_bp_since`` holds
+        # the last cycle whose backpressure tick is settled) and the
+        # NI's drain watch wakes it when the queue drops below
+        # ``queue_limit``; the skipped per-cycle ticks settle in bulk.
+        # Requires the platform clock (``_clock``) so control
+        # operations (disable, budget writes) can settle mid-stretch;
+        # without it — standalone generators in unit tests — the
+        # generator keeps ticking per polled cycle as before.
+        self._bp_since: Optional[int] = None
+        self._clock: Optional[Callable[[], int]] = None
         # Platform hook: called with a packet-count delta so aggregate
         # progress counters stay O(1) (positive on send, negative on
         # reset).
@@ -86,7 +97,7 @@ class TrafficGenerator:
         # Statistics.
         self.packets_sent = 0
         self.flits_sent = 0
-        self.backpressure_cycles = 0
+        self._backpressure_cycles = 0
         self._records: Optional[List[TraceRecord]] = [] if record else None
 
     # ------------------------------------------------------------------
@@ -97,13 +108,48 @@ class TrafficGenerator:
         self.wake()
 
     def disable(self) -> None:
+        # A disabled generator stops accruing backpressure ticks, so a
+        # parked stretch must settle up to the cycle before the
+        # control write took effect.
+        self._settle_backpressure()
         self.enabled = False
 
     def wake(self) -> None:
         """Signal that this generator's poll schedule may have changed."""
+        # Any control operation (enable, reset, budget write) can
+        # change what the next poll would do: settle a parked
+        # backpressure stretch first, then let the next poll
+        # re-evaluate (and possibly re-park) from scratch.
+        self._settle_backpressure()
         self._silent_until = 0
         if self.on_wake is not None:
             self.on_wake()
+
+    def _settle_backpressure(self) -> None:
+        """Account the per-cycle ticks of a parked backpressure stretch."""
+        since = self._bp_since
+        if since is None:
+            return
+        self._bp_since = None
+        if self._clock is not None:
+            until = self._clock() - 1
+            if until > since:
+                self._backpressure_cycles += until - since
+
+    def _on_ni_drain(self, now: int) -> None:
+        """NI drain watch: the source queue dropped below the limit.
+
+        The pop happens in the network's inject phase of ``now``, a
+        cycle whose (virtual) poll still saw a full queue: settle
+        through ``now`` and resume polling next cycle.
+        """
+        since = self._bp_since
+        if since is None:
+            return  # stale watch (reset/control op already unparked)
+        self._bp_since = None
+        if now > since:
+            self._backpressure_cycles += now - since
+        self.wake()
 
     def reset(self, seed: Optional[int] = None) -> None:
         """Rewind the model and clear the run counters."""
@@ -112,10 +158,22 @@ class TrafficGenerator:
             self.on_count(-self.packets_sent)
         self.packets_sent = 0
         self.flits_sent = 0
-        self.backpressure_cycles = 0
+        # Pre-reset backpressure (settled or parked) is discarded.
+        self._bp_since = None
+        self._backpressure_cycles = 0
         if self._records is not None:
             self._records = []
         self.wake()
+
+    @property
+    def backpressure_cycles(self) -> int:
+        """Cycles stalled on a full NI queue (settled through the last
+        emulated cycle, including any still-parked stretch)."""
+        if self._bp_since is not None and self._clock is not None:
+            pending = self._clock() - 1 - self._bp_since
+            if pending > 0:
+                return self._backpressure_cycles + pending
+        return self._backpressure_cycles
 
     @property
     def done(self) -> bool:
@@ -144,6 +202,11 @@ class TrafficGenerator:
         """
         if not self.enabled or self.done:
             return NEVER_POLL
+        if self._bp_since is not None:
+            # Backpressure-parked: the NI drain watch (or a control
+            # operation) wakes us; until then no poll can observe
+            # anything that bulk settlement does not already account.
+            return NEVER_POLL
         if self.ni.pending_flits >= self.queue_limit:
             return after  # backpressure accounting is per-cycle
         t = self.model.next_emission_cycle(after)
@@ -158,8 +221,17 @@ class TrafficGenerator:
         """Poll the model for cycle ``now``; return the emitted packet."""
         if not self.enabled or self.done:
             return None
+        if self._bp_since is not None:
+            # Parked on backpressure: ticks settle in bulk on wake-up,
+            # so a poll forced by another generator's round is free.
+            return None
         if self.ni.pending_flits >= self.queue_limit:
-            self.backpressure_cycles += 1
+            self._backpressure_cycles += 1
+            if self._clock is not None:
+                # Park: stop polling until the NI queue drains below
+                # the limit (or a control operation intervenes).
+                self._bp_since = now
+                self.ni.watch_drain(self.queue_limit, self._on_ni_drain)
             return None
         if now < self._silent_until:
             return None  # model contractually silent until then

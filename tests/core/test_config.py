@@ -91,6 +91,53 @@ class TestRoutingResolution:
             cfg.resolve_routing(cfg.resolve_topology())
 
 
+class TestAutoRouting:
+    """routing="auto" must pick a deadlock-free family default."""
+
+    @pytest.mark.parametrize(
+        "topology, expected",
+        [
+            ("mesh:3:3", "shortest"),
+            ("tree:2:3", "shortest"),
+            ("ring:6", "updown"),
+            ("spidergon:8", "updown"),
+            # Torus wrap-around channels are cyclic too: BFS shortest
+            # paths pass the channel-dependency check only on the
+            # smallest grids, so "auto" must not pick them.
+            ("torus:3:3", "updown"),
+            ("torus:5:5", "updown"),
+        ],
+    )
+    def test_family_defaults(self, topology, expected):
+        from repro.core.config import generic_platform_config
+
+        cfg = generic_platform_config(topology=topology, max_packets=10)
+        assert cfg.routing == expected
+
+    def test_torus_auto_builds_deadlock_free(self):
+        """Regression: torus:5:5 with routing="auto" used to resolve to
+        shortest paths, whose channel-dependency graph cycles — the
+        platform build refused the tables with a ConfigError."""
+        from repro.core.config import generic_platform_config
+        from repro.core.platform import build_platform
+
+        platform = build_platform(
+            generic_platform_config(topology="torus:5:5", max_packets=5)
+        )
+        assert platform.topology.name == "torus5x5"
+
+    def test_torus_shortest_still_refused_at_build(self):
+        """The channel-dependency check keeps vetting explicit specs."""
+        from repro.core.config import generic_platform_config
+        from repro.core.platform import build_platform
+
+        cfg = generic_platform_config(
+            topology="torus:5:5", routing="shortest", max_packets=5
+        )
+        with pytest.raises(ConfigError, match="dependency cycle"):
+            build_platform(cfg)
+
+
 class TestSignatures:
     def test_software_change_keeps_hardware_signature(self):
         a = paper_platform_config(max_packets=100, seed=1)

@@ -32,10 +32,43 @@ class TestRun:
         # It stopped long before the generators were done.
         assert result.packets_sent < 40_000
 
+    def test_max_packets_not_quantised_by_check_interval(self):
+        """Regression: the packet-budget stop used to live behind the
+        check_interval gate, overshooting by up to check_interval - 1
+        deliveries.  It must now stop within the delivery cycle: the
+        only overshoot left is same-cycle completions (at most one per
+        receptor, and the paper platform has 4)."""
+        result = engine_for(max_packets=10_000).run(
+            max_packets=100, check_interval=64
+        )
+        assert result.packets_received >= 100
+        assert result.packets_received - 100 < 4
+
     def test_no_drain_mode_stops_at_emission_end(self):
         with_drain = engine_for(max_packets=100).run()
         without = engine_for(max_packets=100).run(drain=False)
         assert without.cycles <= with_drain.cycles
+
+    def test_completed_semantics_are_honest(self):
+        """Regression: drain=False used to report completed=True with
+        flits still in flight, contradicting the EngineResult contract
+        (budget exhausted *and* network drained)."""
+        engine = engine_for(max_packets=100, load=0.9)
+        result = engine.run(drain=False)
+        assert result.budget_done
+        # Emission just ended at 90% load: flits are still in flight.
+        assert engine.platform.network.in_flight_flits > 0
+        assert not result.drained
+        assert not result.completed
+
+    def test_completed_flags_on_full_run(self):
+        result = engine_for(max_packets=50).run()
+        assert result.budget_done and result.drained and result.completed
+
+    def test_limit_stop_reports_budget_not_done(self):
+        result = engine_for(max_packets=10_000).run(max_cycles=500)
+        assert not result.budget_done
+        assert not result.completed
 
     def test_unbounded_run_rejected(self):
         cfg = paper_platform_config(max_packets=None)

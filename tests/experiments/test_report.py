@@ -106,6 +106,51 @@ class TestAggregate:
     def test_empty_results(self):
         assert aggregate([], by=("load",)) == []
 
+    def test_default_metrics_union_across_results(self):
+        """A metric missing (None) in the first scenario must still
+        aggregate: a mixed-receptor sweep puts ``p50_latency=None`` on
+        stochastic-receptor scenarios, and the default metric list used
+        to be inferred from ``results[0]`` alone, silently dropping the
+        column for the entire sweep."""
+        results = [
+            result_for(
+                {"cycles": 100, "p50_latency": None},
+                receptors="stochastic",
+                load=0.1,
+            ),
+            result_for(
+                {"cycles": 120, "p50_latency": 40.0},
+                receptors="tracedriven",
+                load=0.1,
+            ),
+            result_for(
+                {"cycles": 140, "p50_latency": 60.0},
+                receptors="tracedriven",
+                load=0.2,
+            ),
+        ]
+        agg = aggregate(results, by=("load",))
+        # The column exists for every group...
+        assert "p50_latency.mean" in agg[0]
+        assert "p50_latency.mean" in agg[1]
+        # ...aggregated over the scenarios that reported a number.
+        assert agg[0]["p50_latency.mean"] == 40.0
+        assert agg[1]["p50_latency.mean"] == 60.0
+
+    def test_default_metrics_keep_first_seen_order(self):
+        results = [
+            result_for({"cycles": 1, "b_metric": 2.0}, load=0.1),
+            result_for(
+                {"cycles": 2, "a_metric": 1.0, "b_metric": 3.0}, load=0.2
+            ),
+        ]
+        agg = aggregate(results, by=("load",))
+        columns = list(agg[0])
+        # Union keeps sweep order: metrics of the first result first,
+        # later-only metrics appended in encounter order.
+        assert columns.index("cycles.mean") < columns.index("b_metric.mean")
+        assert columns.index("b_metric.mean") < columns.index("a_metric.mean")
+
 
 class TestExport:
     def test_csv_round_trip(self, tmp_path):

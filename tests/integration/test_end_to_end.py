@@ -120,6 +120,30 @@ class TestFigureShapes:
         assert last_gain < first_gain
 
 
+class TestTorusSaturation:
+    def test_saturated_torus_completes_without_deadlock(self):
+        """Regression for the routing="auto" torus default: under BFS
+        shortest paths a saturated torus either failed the build-time
+        channel-dependency check or wormhole-deadlocked mid-run; the
+        up*/down* default must complete and drain at full load."""
+        from repro.core.config import generic_platform_config
+
+        platform = build_platform(
+            generic_platform_config(
+                topology="torus:4:4",
+                load=0.9,
+                max_packets=40,
+                seed=3,
+            )
+        )
+        result = EmulationEngine(platform).run(
+            stagnation_cycles=20_000
+        )
+        assert result.completed
+        assert platform.packets_sent == platform.packets_received
+        assert platform.packets_received == 16 * 40
+
+
 class TestFullFlowEndToEnd:
     def test_flow_sweep_with_report_artifacts(self):
         flow = EmulationFlow()

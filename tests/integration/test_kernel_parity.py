@@ -124,6 +124,15 @@ SCENARIOS = [
     ),
     dict(traffic="uniform", max_packets=300, routing_case="disjoint"),
     dict(traffic="uniform", max_packets=300, routing_case="split"),
+    # Saturation-parking coverage: shallow buffers at 90% load block
+    # whole switches every few cycles (full-block/unblock churn), and
+    # 90% load alone starves NIs on about half their inject attempts.
+    dict(
+        traffic="uniform", max_packets=300, load=0.9, buffer_depth=1
+    ),
+    dict(
+        traffic="uniform", max_packets=300, load=0.9, buffer_depth=2
+    ),
 ]
 
 
@@ -191,6 +200,97 @@ def test_mixing_paths_mid_run_is_consistent():
     assert snapshot(platform) == snapshot(oracle)
 
 
+class TestParkingParity:
+    """Blocked-component parking must be invisible in every result."""
+
+    def test_parking_actually_engages_at_saturation(self):
+        """Non-vacuity: at 90% load the event path really does park
+        switches, NIs and backpressured generators mid-run."""
+        platform = fresh_platform(
+            lambda: paper_platform_config(
+                traffic="uniform", load=0.9, max_packets=600
+            )
+        )
+        saw_sw = saw_ni = saw_gen = False
+        for _ in range(4000):
+            platform.step()
+            saw_sw = saw_sw or any(
+                sw._parked for sw in platform.network.switches
+            )
+            saw_ni = saw_ni or any(
+                ni._parked for ni in platform.network.nis
+            )
+            saw_gen = saw_gen or any(
+                g._bp_since is not None for g in platform.generators
+            )
+        assert saw_sw and saw_ni and saw_gen
+
+    @pytest.mark.parametrize("reset_cycle", [500, 1777, 3000])
+    def test_reset_while_parked_matches_reference(self, reset_cycle):
+        """A statistics reset mid-run lands on parked components (the
+        90%-load case keeps some parked at any time); the settled
+        counters afterwards must match the scan-everything path doing
+        the same reset."""
+
+        def config():
+            return paper_platform_config(
+                traffic="uniform", load=0.9, max_packets=400
+            )
+
+        snaps = []
+        for reference in (False, True):
+            platform = fresh_platform(config)
+            step = (
+                platform.step_reference if reference else platform.step
+            )
+            for k in range(6000):
+                if k == reset_cycle:
+                    platform.reset_statistics()
+                step()
+            snaps.append(snapshot(platform))
+        assert snaps[0] == snaps[1]
+
+    def test_full_block_unblock_cycles_match_reference(self):
+        """depth-1 buffers at 90% load force constant whole-switch
+        block/unblock churn through the parking paths."""
+        event, reference = cosimulate(
+            lambda: paper_platform_config(
+                traffic="uniform",
+                load=0.9,
+                max_packets=250,
+                buffer_depth=1,
+            ),
+            cycles=5000,
+        )
+        assert event == reference
+
+    def test_backpressure_parking_matches_per_cycle_ticking(self):
+        """Generator backpressure settlement must equal the seed-style
+        per-cycle ticking: the same platform stepped with generator
+        parking disabled (no clock) produces identical statistics."""
+
+        def config():
+            cfg = paper_platform_config(
+                traffic="uniform", load=0.9, max_packets=300
+            )
+            for tg in cfg.tgs:
+                tg.queue_limit = 24  # tight queue: heavy backpressure
+            return cfg
+
+        parked = fresh_platform(config)
+        for _ in range(5000):
+            parked.step()
+        ticking = fresh_platform(config)
+        for generator in ticking.generators:
+            generator._clock = None  # disables backpressure parking
+        for _ in range(5000):
+            ticking.step()
+        assert any(
+            g.backpressure_cycles > 0 for g in parked.generators
+        )
+        assert snapshot(parked) == snapshot(ticking)
+
+
 class TestFastForwardParity:
     """Idle fast-forward must be invisible in every result."""
 
@@ -244,6 +344,69 @@ class TestFastForwardParity:
         assert result.completed
         # The vast idle majority of emulated time was never stepped.
         assert stepped < result.cycles / 2
+
+    def test_ff_delivers_credits_due_at_the_jump_cycle(self):
+        """Regression: `_flush_credits_until` used to start at offset
+        1, skipping credits due exactly at the current (unprocessed)
+        cycle — reachable with link delay >= 2, where a pop at c-1
+        schedules a credit for c+1 while the fabric goes quiescent at
+        c+1.  Every credit counter must match the fast_forward=False
+        run after each burst."""
+        from repro.core.config import (
+            PlatformConfig,
+            TGSpec,
+            TRSpec,
+        )
+        from repro.noc.topology import mesh
+
+        def config():
+            return PlatformConfig(
+                topology=mesh(2, 2, link_delay=2),
+                routing="shortest",
+                tgs=[
+                    TGSpec(
+                        node=0,
+                        model="onoff",
+                        params={
+                            "length": 4,
+                            "dst": 3,
+                            "packets_per_burst": 2,
+                            "load": 0.02,
+                        },
+                        max_packets=40,
+                        seed=7,
+                    )
+                ],
+                trs=[TRSpec(node=3)],
+                check_deadlock=False,
+            )
+
+        def credit_state(platform):
+            return [
+                [
+                    sw.output_credits(p)
+                    for p in range(sw.config.n_outputs)
+                ]
+                for sw in platform.network.switches
+            ] + [ni._credits for ni in platform.network.nis]
+
+        with_ff = EmulationEngine(build_platform(config())).run(
+            fast_forward=True
+        )
+        without = EmulationEngine(build_platform(config())).run(
+            fast_forward=False
+        )
+        assert with_ff.cycles == without.cycles
+        assert with_ff.packets_received == without.packets_received
+        # Rebuild and co-simulate step-by-step around the jumps so the
+        # credit counters are compared at matching cycles.
+        ff_platform = build_platform(config())
+        plain = build_platform(config())
+        engine = EmulationEngine(ff_platform)
+        engine.run(max_cycles=4000)
+        while plain.cycle < ff_platform.cycle:
+            plain.step()
+        assert credit_state(ff_platform) == credit_state(plain)
 
     def test_max_cycles_limit_respected_across_jumps(self):
         platform = build_platform(

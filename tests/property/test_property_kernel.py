@@ -77,6 +77,10 @@ def final_state(platform):
         "nis": [
             (ni.injected_flits, ni.stall_cycles) for ni in net.nis
         ],
+        "generators": [
+            (g.packets_sent, g.flits_sent, g.backpressure_cycles)
+            for g in platform.generators
+        ],
     }
     for receptor in platform.receptors:
         if isinstance(receptor, TraceDrivenReceptor):
@@ -120,5 +124,49 @@ def test_random_platforms_step_identically(
     event, oracle = results
     assert event == oracle
     # Both runs must have actually exercised the fabric.
+    assert event["sent"] > 0
+    assert event["in_flight"] == event["scan"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    topo_kind=st.sampled_from(["mesh", "ring"]),
+    switching=st.sampled_from(["wormhole", "store_and_forward"]),
+    buffer_depth=st.sampled_from([1, 2, 4]),
+    queue_limit=st.sampled_from([8, 16, 64]),
+    reset_cycle=st.integers(min_value=50, max_value=2000),
+    seed=st.integers(min_value=1, max_value=10_000),
+)
+def test_saturated_platforms_with_reset_step_identically(
+    topo_kind, switching, buffer_depth, queue_limit, reset_cycle, seed
+):
+    """Parked-component coverage: 90% load with shallow buffers and
+    tight NI queues drives full-block/unblock cycles, NI credit
+    starvation and generator backpressure parking; a statistics reset
+    dropped on a random cycle lands on parked components.  Everything
+    must stay bit-identical to the scan-everything oracle."""
+    results = []
+    for reference in (False, True):
+        flit_mod._packet_ids = itertools.count()
+        config = small_config(
+            topo_kind, "round_robin", switching, "uniform", 0.9, seed
+        )
+        for tg in config.tgs:
+            tg.queue_limit = queue_limit
+        # Store-and-forward needs whole packets (length 3) to fit.
+        config.buffer_depth = (
+            buffer_depth
+            if switching == "wormhole"
+            else max(buffer_depth, 3)
+        )
+        platform = build_platform(config)
+        step = platform.step_reference if reference else platform.step
+        for k in range(2500):
+            if k == reset_cycle:
+                platform.reset_statistics()
+            step()
+        results.append(final_state(platform))
+    event, oracle = results
+    assert event == oracle
     assert event["sent"] > 0
     assert event["in_flight"] == event["scan"]
