@@ -16,10 +16,11 @@ the full seed-to-now table.)
 
 Two kinds of regression guard:
 
-* ``FLOORS`` — conservative event-vs-reference ratios, robust to CI
-  machine noise.
-* the committed ``BENCH_kernel.json`` — if a saturation scenario's
-  event c/s regresses more than 10% against the committed record, the
+* ``FLOORS`` — event-vs-reference ratios per scenario, including the
+  hard requirement that the event kernel is at least as fast as the
+  reference everywhere (recorded as ``event_vs_reference``).
+* the committed ``BENCH_kernel.json`` — if *any* scenario's event c/s
+  regresses more than its tolerance against the committed record, the
   bench **fails loudly before overwriting it**, so a slow kernel can
   never silently rewrite its own baseline.
 """
@@ -61,30 +62,38 @@ SCENARIOS = {
     "lowload": dict(traffic="poisson", load=0.01, max_packets=250),
 }
 
-#: Conservative speedup floors (event vs reference) per scenario.
-#: The reference path shares the delivery wheels and flattened hot
-#: paths, so at saturation — everything busy on a 6-switch fabric —
-#: it runs within noise of the event kernel; the seed-relative floor
-#: below is the meaningful saturation guard.
+#: Speedup floors (event vs reference) per scenario.  The event
+#: kernel must be at least as fast as the scan-everything reference on
+#: *every* scenario — input-granular parking owes its keep even at
+#: full saturation, where PR 4's whole-component parking used to run
+#: within noise of (and at 90% load slightly behind) the reference.
 FLOORS = {
-    "saturation": 0.9,
-    "saturation90": 0.9,
+    "saturation": 1.0,
+    "saturation90": 1.0,
     "burst": 3.5,
     "lowload": 3.5,
 }
 
 #: Seed-commit engine speed on the reference machine (best-of-5,
 #: ``time.process_time``; the ROADMAP Performance table's "seed c/s"
-#: column).  The saturation target is 1.4x seed — the committed
-#: ``BENCH_kernel.json`` records the measured ``vs_seed`` (1.4-1.5x
+#: column).  The saturation target is 1.8x seed — the committed
+#: ``BENCH_kernel.json`` records the measured ``vs_seed`` (1.8-1.9x
 #: on the reference machine); the asserted floor sits lower only to
-#: tolerate CI-container CPU throttling swings.
+#: tolerate CI-container CPU throttling swings (up to ~20%).
 SEED_CPS = {"saturation": 40_000, "saturation90": 33_400}
-SEED_TARGET = 1.25
+SEED_TARGET = 1.5
 
-#: Scenarios guarded against regression vs the committed record.
-GUARDED = ("saturation", "saturation90")
-REGRESSION_TOLERANCE = 0.10
+#: Every scenario is guarded against regressing more than its
+#: tolerance below the committed record before that record may be
+#: overwritten.  The sub-second burst/low-load runs breathe more with
+#: container CPU swings than the saturation pair, hence the wider
+#: band.
+REGRESSION_TOLERANCES = {
+    "saturation": 0.10,
+    "saturation90": 0.10,
+    "burst": 0.15,
+    "lowload": 0.15,
+}
 
 
 def run_event(config):
@@ -143,7 +152,7 @@ def measure(name, reps=3):
         "packets_received": packets_e,
         "event_cps": round(cycles_e / best_event),
         "reference_cps": round(cycles_r / best_ref),
-        "speedup": round((best_ref / best_event), 2),
+        "event_vs_reference": round((best_ref / best_event), 2),
     }
     if name in SEED_CPS:
         record["vs_seed"] = round(record["event_cps"] / SEED_CPS[name], 2)
@@ -151,7 +160,7 @@ def measure(name, reps=3):
 
 
 def check_no_regression(report, baseline_path):
-    """Fail before overwriting when saturation c/s regresses > 10%."""
+    """Fail before overwriting when any scenario regresses too far."""
     if not os.path.exists(baseline_path):
         return
     try:
@@ -159,15 +168,15 @@ def check_no_regression(report, baseline_path):
             committed = json.load(fh)
     except (OSError, ValueError):
         return  # unreadable record: nothing to guard against
-    for name in GUARDED:
+    for name, tolerance in REGRESSION_TOLERANCES.items():
         old = committed.get(name, {}).get("event_cps")
         if not old:
             continue
         new = report[name]["event_cps"]
-        floor = old * (1.0 - REGRESSION_TOLERANCE)
+        floor = old * (1.0 - tolerance)
         assert new >= floor, (
             f"{name}: event kernel regressed to {new:,} c/s, more than"
-            f" {REGRESSION_TOLERANCE:.0%} below the committed"
+            f" {tolerance:.0%} below the committed"
             f" {old:,} c/s — refusing to overwrite"
             f" {os.path.basename(baseline_path)}; investigate (or"
             f" delete the record to re-baseline deliberately)"
@@ -189,7 +198,7 @@ def test_kernel_speed_smoke():
             name,
             f"{r['event_cps']:,}",
             f"{r['reference_cps']:,}",
-            f"{r['speedup']:.2f}x",
+            f"{r['event_vs_reference']:.2f}x",
             f"{r['vs_seed']:.2f}x" if "vs_seed" in r else "-",
             r["cycles"],
         )
@@ -202,7 +211,7 @@ def test_kernel_speed_smoke():
                 "scenario",
                 "event c/s",
                 "reference c/s",
-                "speedup",
+                "vs reference",
                 "vs seed",
                 "cycles",
             ],
@@ -211,9 +220,10 @@ def test_kernel_speed_smoke():
     )
 
     for name, floor in FLOORS.items():
-        assert report[name]["speedup"] >= floor, (
-            f"{name}: event kernel only {report[name]['speedup']}x the"
-            f" reference (floor {floor}x)"
+        ratio = report[name]["event_vs_reference"]
+        assert ratio >= floor, (
+            f"{name}: event kernel only {ratio}x the reference"
+            f" (floor {floor}x)"
         )
     for name, seed_cps in SEED_CPS.items():
         vs_seed = report[name]["vs_seed"]

@@ -5,6 +5,7 @@ host-side tooling for the Python reproduction::
 
     python -m repro run    --traffic burst --packets 2000
     python -m repro run    --topology mesh:4:4 --traffic poisson
+    python -m repro run    --profile --packets 500
     python -m repro synth  --receptors stochastic
     python -m repro speed  --packets 500
     python -m repro sweep  --metric latency
@@ -134,15 +135,49 @@ def _scenario_from(
     )
 
 
+def _profiled(fn, top: int):
+    """Run ``fn`` under cProfile; return (result, profile table).
+
+    The ``--profile`` flag of ``repro run``: future performance PRs
+    start from measured hot spots instead of guesses.  The caller
+    prints the table after the run's own report.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        result = fn()
+    finally:
+        profile.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profile, stream=buffer)
+    stats.sort_stats("cumulative")
+    stats.print_stats(top)
+    table = (
+        f"\n--- profile: top {top} by cumulative time ---\n"
+        f"{buffer.getvalue()}"
+    )
+    return result, table
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    top = args.profile_top
     if args.topology == "paper" and args.routing in _PAPER_ROUTING:
         # The paper platform keeps its historical path (six-step flow,
         # seed registers loaded as seed+i) so outputs stay comparable
         # with the figures.
         config = _config_from(args, args.packets)
         flow = EmulationFlow()
-        report = flow.run(config)
-        print(report.report_text)
+        if args.profile:
+            report, table = _profiled(lambda: flow.run(config), top)
+            print(report.report_text)
+            print(table)
+        else:
+            report = flow.run(config)
+            print(report.report_text)
         return 0
     from repro.core.monitor import Monitor
 
@@ -152,8 +187,14 @@ def cmd_run(args: argparse.Namespace) -> int:
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    result = EmulationEngine(platform).run()
-    print(Monitor(platform).final_report(result))
+    engine = EmulationEngine(platform)
+    if args.profile:
+        result, table = _profiled(engine.run, top)
+        print(Monitor(platform).final_report(result))
+        print(table)
+    else:
+        result = engine.run()
+        print(Monitor(platform).final_report(result))
     return 0
 
 
@@ -316,6 +357,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2000,
         help="packet budget per generator (default: 2000)",
+    )
+    run_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "wrap the engine loop in cProfile and print the top"
+            " cumulative hot spots after the report"
+        ),
+    )
+    run_parser.add_argument(
+        "--profile-top",
+        type=int,
+        default=20,
+        metavar="N",
+        help="rows of the profile table (default: 20)",
     )
     run_parser.set_defaults(func=cmd_run)
 

@@ -121,6 +121,9 @@ class EmulationEngine:
         )
         started = time.perf_counter()
         since_check = 0
+        # check_interval == 1 (the default) makes the countdown dead
+        # weight: skip its three per-cycle bookkeeping ops entirely.
+        counted_checks = check_interval > 1
         gens_done = False
         last_received = platform.packets_received
         last_progress_cycle = platform.cycle
@@ -146,10 +149,11 @@ class EmulationEngine:
                 # check_interval would overshoot the packet budget by
                 # up to check_interval - 1 deliveries.
                 break
-            since_check += 1
-            if since_check < check_interval:
-                continue
-            since_check = 0
+            if counted_checks:
+                since_check += 1
+                if since_check < check_interval:
+                    continue
+                since_check = 0
             received = platform._packets_received
             if not drain:
                 # Emission-phase timing: stop the moment the budgets

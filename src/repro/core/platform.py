@@ -75,9 +75,9 @@ class EmulationPlatform:
         self._packets_received = sum(
             r.packets_received for r in receptors
         )
-        for generator in generators:
+        for index, generator in enumerate(generators):
             generator.on_count = self._count_sent
-            generator.on_wake = self._wake_generators
+            generator.on_wake = self._make_gen_wake(index)
             # The platform clock enables backpressure parking: a
             # generator facing a full NI queue stops being polled (the
             # NI drain watch wakes it) and bulk-settles its stall
@@ -88,9 +88,13 @@ class EmulationPlatform:
         for receptor in receptors:
             receptor.on_count = self._count_received
         # Earliest cycle at which any generator could act (emit or
-        # count backpressure); whole generator rounds are skipped until
-        # then.  Control operations invalidate it via the wake hook.
+        # count backpressure); whole generator rounds are skipped
+        # until then.  ``_gen_next`` caches the same bound *per
+        # generator*, so a mandatory round steps only the generators
+        # actually due rather than the whole population.  Control
+        # operations invalidate both through the wake hook.
         self._next_gen_poll = 0
+        self._gen_next = [0] * len(generators)
         self._attach_devices()
 
     def _now_cycle(self) -> int:
@@ -102,8 +106,20 @@ class EmulationPlatform:
     def _count_received(self, delta: int) -> None:
         self._packets_received += delta
 
-    def _wake_generators(self) -> None:
-        self._next_gen_poll = 0
+    def _make_gen_wake(self, index: int):
+        """Per-generator wake: only the woken generator re-polls.
+
+        A backpressure drain watch or control operation changes one
+        generator's schedule; invalidating only its cache keeps the
+        other generators sleeping through their silent stretches
+        instead of re-stepping the whole population on every wake.
+        """
+
+        def wake() -> None:
+            self._next_gen_poll = 0
+            self._gen_next[index] = 0
+
+        return wake
 
     def _attach_devices(self) -> None:
         self.fabric.attach(self.control, bus=0)
@@ -136,17 +152,27 @@ class EmulationPlatform:
         """One generator round, rescheduling the next mandatory round.
 
         Generators whose model is contractually silent and whose NI
-        queue cannot backpressure are skipped wholesale until the
-        earliest cycle one of them could act (see
+        queue cannot backpressure are skipped until the earliest cycle
+        one of them could act (see
         :meth:`~repro.traffic.generator.TrafficGenerator.next_poll_cycle`);
-        the engine's hot loop calls this only when that cycle arrives.
+        the engine's hot loop calls this only when that cycle arrives,
+        and within a round only the generators actually due are
+        stepped (``_gen_next`` holds each generator's own bound; any
+        schedule change funnels through ``TrafficGenerator.wake`` and
+        resets the caches).
         """
         nxt = None
+        gen_next = self._gen_next
+        k = 0
         for generator in self.generators:
-            generator.step(now)
-            t = generator.next_poll_cycle(now + 1)
+            t = gen_next[k]
+            if t <= now:
+                generator.step(now)
+                t = generator.next_poll_cycle(now + 1)
+                gen_next[k] = t
             if nxt is None or t < nxt:
                 nxt = t
+            k += 1
         self._next_gen_poll = now + 1 if nxt is None else nxt
 
     def step_reference(self) -> None:

@@ -35,8 +35,20 @@ class Arbiter:
         self.grant_counts[winner] += 1
         return winner
 
+    def grant_single(self, winner: int) -> int:
+        """Uncontended grant: identical statistics and policy state to
+        ``grant([winner])`` without the selection scan (the switch's
+        grant loop calls this on the common single-requester case)."""
+        self.grants += 1
+        self.grant_counts[winner] += 1
+        self._won(winner)
+        return winner
+
     def _select(self, requests: Sequence[int]) -> int:
         raise NotImplementedError
+
+    def _won(self, winner: int) -> None:
+        """Advance policy state after ``winner`` took the grant."""
 
     def reset(self) -> None:
         self.grants = 0
@@ -67,10 +79,22 @@ class RoundRobinArbiter(Arbiter):
         super().__init__(n_requesters)
         self._pointer = 0
 
+    def _won(self, winner: int) -> None:
+        # The pointer advances past the winner, exactly as the
+        # rotating search would set it.
+        self._pointer = (winner + 1) % self.n_requesters
+
+    def grant_single(self, winner: int) -> int:
+        # Base implementation with ``_won`` folded in: the platform
+        # default arbiter takes this on every uncontended grant.
+        self.grants += 1
+        self.grant_counts[winner] += 1
+        self._pointer = (winner + 1) % self.n_requesters
+        return winner
+
     def _select(self, requests: Sequence[int]) -> int:
         if len(requests) == 1:
-            # Uncontended grant: the pointer still advances past the
-            # winner, exactly as the rotating search would set it.
+            # Uncontended grant: same pointer advance as a search win.
             candidate = requests[0]
             self._pointer = (candidate + 1) % self.n_requesters
             return candidate
@@ -104,6 +128,10 @@ class MatrixArbiter(Arbiter):
         self._beats: List[List[bool]] = [
             [j > i for j in range(n)] for i in range(n)
         ]
+
+    def _won(self, winner: int) -> None:
+        # Even an uncontended winner becomes the least-recently-served.
+        self._update(winner)
 
     def _select(self, requests: Sequence[int]) -> int:
         request_set = set(requests)

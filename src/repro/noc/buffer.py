@@ -32,7 +32,19 @@ class FlitBuffer:
     ``track_packets`` keeps a per-packet flit count updated on every
     push/pop, giving store-and-forward switches an O(1) answer to "is
     the head packet fully buffered?" instead of rescanning the FIFO
-    every cycle while the packet accumulates.
+    every cycle while the packet accumulates (with input-granular
+    parking that question is asked once per arrival wake-up, not per
+    cycle).
+
+    Hot-path contract: :meth:`push` and :meth:`pop` are *inlined* by
+    ``Switch.receive``, the traverse hop paths
+    (``Switch.traverse``/``traverse_all``) and the network's fused
+    delivery phase — any change to their bookkeeping (``_fifo``
+    identity, ``_pid_counts``, ``total_pushes``/``total_pops``,
+    ``peak_occupancy``) must be mirrored there.  The ``_fifo`` deque's
+    identity is stable for the buffer's lifetime; the switch's
+    per-input scan tuples and the links' fused delivery endpoints
+    cache it.
     """
 
     __slots__ = (

@@ -37,9 +37,10 @@ class Link:
         "wheel",
         "wheel_size",
         "sink",
+        "dst",
+        "rx",
         "wire_count",
         "flits_carried",
-        "busy_cycles",
         "stats_since",
         "_last_send_cycle",
     )
@@ -63,10 +64,17 @@ class Link:
         self.wheel: Optional[List[List[Tuple["Link", Flit]]]] = None
         self.wheel_size = 0
         self.sink: Optional[Callable[[Flit, int], None]] = None
+        # Fused delivery endpoints (set by the network).  ``dst`` is
+        # the (switch, input port, buffer) tuple of a link feeding a
+        # switch input — the delivery phase pushes into it directly,
+        # skipping the ``sink`` callback frame; ``rx`` is the
+        # reassembly buffer of an ejection link.  Both None -> deliver
+        # through ``sink`` (custom sinks, standalone use).
+        self.dst: Optional[tuple] = None
+        self.rx: Optional[object] = None
         self.wire_count = 0
         # Statistics.
         self.flits_carried = 0
-        self.busy_cycles = 0
         self.stats_since = 0  # cycle the stats window opened at
         self._last_send_cycle: Optional[int] = None
 
@@ -90,7 +98,6 @@ class Link:
         else:
             self._in_flight.append((now + self.delay, flit))
         self.flits_carried += 1
-        self.busy_cycles += 1
 
     def deliver(self, now: int) -> List[Flit]:
         """Pop all flits whose arrival cycle is ``<= now``."""
@@ -124,16 +131,25 @@ class Link:
     # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
+    @property
+    def busy_cycles(self) -> int:
+        """Cycles in which the link accepted a flit.
+
+        A link carries at most one flit per cycle, so this is exactly
+        ``flits_carried`` — aliased rather than counted separately to
+        keep one increment off the per-hop hot path.
+        """
+        return self.flits_carried
+
     def utilization(self, elapsed_cycles: int) -> float:
         """Fraction of ``elapsed_cycles`` in which the link carried a flit."""
         if elapsed_cycles <= 0:
             return 0.0
-        return min(1.0, self.busy_cycles / elapsed_cycles)
+        return min(1.0, self.flits_carried / elapsed_cycles)
 
     def reset_stats(self, now: int = 0) -> None:
         """Zero the counters and open a new stats window at ``now``."""
         self.flits_carried = 0
-        self.busy_cycles = 0
         self.stats_since = now
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -8,22 +8,18 @@ emulate any NoC packet-switching intercommunication scheme" at the heart
 of the hardware platform (Slide 13); the emulation engine in
 ``repro.core`` drives it together with the traffic devices.
 
-:meth:`Network.step` is *event-driven*: the network keeps a set of
-switches with buffered flits, a set of network interfaces with queued
-flits, and one armed set per link queue kind (flit deliveries, credit
-returns), so a cycle costs time proportional to the components with
-work rather than to the fabric size.  Components feed these structures
-through wake-up hooks: a switch notifies on its empty -> busy
-:meth:`~repro.noc.switch.Switch.receive` transition, a link arms
-itself when :meth:`~repro.noc.link.Link.send` or
-:meth:`~repro.noc.link.Link.return_credit` starts a flight, and an NI
-notifies on :meth:`~repro.noc.ni.NetworkInterface.offer`.  Link queues
-are FIFOs with constant delay, so each queue head *is* its earliest
-arrival time: the armed sets are a flattened event heap whose per-link
-minima pop in O(1), without the heap churn a delay-1 link would cause
-by re-keying every cycle.  The original scan-everything dataflow
-survives as :meth:`Network.step_reference`; both paths produce
-bit-identical cycle behaviour (see
+:meth:`Network.step` is *event-driven* down to input-port granularity:
+the network keeps a list of switches with movable inputs and a list of
+network interfaces with queued flits, each switch keeps a scan list of
+exactly those inputs, and flits/credits in flight live in arrival-cycle
+delivery wheels — so a cycle costs time proportional to the inputs
+that can actually move rather than to the fabric size.  Components
+feed these structures through wake-up hooks: a switch notifies when an
+input becomes movable (new head, credit return on a starved port,
+wormhole-channel release, store-and-forward completion), an NI on
+:meth:`~repro.noc.ni.NetworkInterface.offer`.  The original
+scan-everything dataflow survives as :meth:`Network.step_reference`;
+both paths produce bit-identical cycle behaviour (see
 ``tests/integration/test_kernel_parity.py``).
 """
 
@@ -32,11 +28,17 @@ from __future__ import annotations
 from functools import partial
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.noc.buffer import BufferFullError
 from repro.noc.flit import Flit, Packet
 from repro.noc.link import Link
 from repro.noc.ni import NetworkInterface, ReassemblyBuffer
 from repro.noc.routing import RoutingFunction
-from repro.noc.switch import Switch, SwitchConfig, SwitchingMode
+from repro.noc.switch import (
+    Switch,
+    SwitchConfig,
+    SwitchingMode,
+    traverse_all,
+)
 from repro.noc.topology import Topology
 
 
@@ -100,17 +102,20 @@ class Network:
         self.switch_links: Dict[Tuple[int, int], List[Link]] = {}
         # Per-link downstream flit sink: called with (flit, now).
         self._flit_sinks: List[Callable[[Flit, int], None]] = []
-        # Credit-return hook registrations deferred until the delivery
-        # wheels exist: (downstream switch, input port, link, credit
-        # target).  The target is structural — (output port object,
-        # owning switch, port index) for a switch upstream, (None, NI,
-        # 0) for an injection link — so the credit phase settles each
-        # return with one attribute add instead of a function call.
+        # Credit-return registrations deferred until the delivery
+        # wheels exist: (downstream switch, input port, link, wheel
+        # entry).  The entry is structural — (output port object,
+        # owning switch) for a switch upstream, (None, NI) for an
+        # injection link — so the credit phase settles each return
+        # with one attribute add, and the downstream switch's fused
+        # hop appends it to the wheel without a callback frame.
         self._pending_credit_hooks: List[tuple] = []
         # Event-driven scheduling state.  The active lists hold the
-        # switches/NIs with *actionable* work — buffered flits that
-        # are not known to be fully blocked — deduplicated by
-        # per-component flags, iterated and compacted as plain lists.
+        # switches/NIs with *actionable* work — a switch is listed
+        # while its per-input scan list is non-empty, i.e. while at
+        # least one input is neither idle nor parked on its
+        # unblocking event — deduplicated by per-component flags,
+        # iterated and compacted as plain lists.
         # Flits and credits in flight live in the delivery *wheels*:
         # ring buffers indexed by arrival cycle modulo ``wheel_size``
         # (one slot past the largest link delay).  A send appends
@@ -141,13 +146,16 @@ class Network:
             link.wheel = self._flit_wheel
             link.wheel_size = size
             link.sink = sink
-        for down, in_port, link, target in self._pending_credit_hooks:
-            down.connect_input_hook(
-                in_port, self._make_credit_hook(link.delay, target)
-            )
+        for down, in_port, link, entry in self._pending_credit_hooks:
+            down._connect_input_credit(in_port, link.delay, entry)
         for switch in self.switches:
+            switch._cwheel = self._credit_wheel
+            switch._cwheel_size = size
+            switch._fwheel = self._flit_wheel
+            switch._fwheel_size = size
             switch._wake = self._make_switch_wake(switch)
             switch._clock = self._now
+            switch._compile_routes(topology.n_nodes)
         for ni in self.nis:
             ni._notify_offer = self._make_offer_hook(ni)
             ni._wake = self._make_ni_wake(ni)
@@ -184,18 +192,6 @@ class Network:
                 active.append(ni)
 
         return wake
-
-    def _make_credit_hook(
-        self, delay: int, entry: tuple
-    ) -> Callable[[int], None]:
-        """Credit-return hook: schedule ``entry`` ``delay`` cycles out."""
-        wheel = self._credit_wheel
-        size = self._wheel_size
-
-        def return_credit(now: int) -> None:
-            wheel[(now + delay) % size].append(entry)
-
-        return return_credit
 
     def _make_offer_hook(
         self, ni: NetworkInterface
@@ -286,8 +282,9 @@ class Network:
         self.links.append(link)
         # partial() binds are C-level: no extra Python frame per event.
         self._pending_credit_hooks.append(
-            (down, in_port, link, (up._outputs[out_port], up, out_port))
+            (down, in_port, link, (up._outputs[out_port], up))
         )
+        link.dst = (down, in_port, down.inputs[in_port])
         self._flit_sinks.append(partial(down.receive, in_port))
 
     def _add_ejection(
@@ -300,6 +297,7 @@ class Network:
         # (whose links consequently never schedule a credit return).
         up.connect_output(out_port, link.send, credits=None, link=link)
         self.links.append(link)
+        link.rx = rx
         self._flit_sinks.append(partial(self._eject, rx))
 
     def _eject(self, rx: ReassemblyBuffer, flit: Flit, now: int) -> None:
@@ -315,8 +313,9 @@ class Network:
         ni.connect(link, credits=down.inputs[in_port].capacity)
         self.links.append(link)
         self._pending_credit_hooks.append(
-            (down, in_port, link, (None, ni, 0))
+            (down, in_port, link, (None, ni))
         )
+        link.dst = (down, in_port, down.inputs[in_port])
         self._flit_sinks.append(partial(down.receive, in_port))
 
     # ------------------------------------------------------------------
@@ -337,38 +336,39 @@ class Network:
         one-cycle-per-hop behaviour of the hardware switches.
 
         Each phase visits only components with *actionable* work:
-        armed links, then switches/NIs from the active lists.
-        Iteration order within a phase is free — components of one
-        phase never interact with each other inside a cycle (sends
-        land on links, never directly on another switch).  Retirement
-        is deferred and lazy: a link whose queue is found empty is
-        dropped during the phase's in-place compaction, so sustained
-        traffic arms each link exactly once instead of churning the
-        lists every cycle.
+        switches/NIs from the active lists, delivery-wheel slots for
+        the wire traffic.  Iteration order within a phase is free —
+        components of one phase never interact with each other inside
+        a cycle (sends land on links, never directly on another
+        switch).  Retirement is deferred and lazy: a component found
+        workless is dropped during the phase's in-place compaction.
 
-        A busy switch that moved nothing *parks*: it leaves the active
-        list and is woken only by the event that can change its
-        outcome (a credit return on a starved output, a flit into an
-        empty buffer, any arrival under store-and-forward), with its
-        per-cycle stall statistics settled in bulk on wake-up.  An NI
-        whose inject stalled on credits parks the same way.  Parked
-        components cost zero Python per cycle — at saturation this is
-        the headroom activity-proportional scheduling alone cannot
-        reach.
+        Blocking is handled at *input* granularity: an input whose
+        head cannot move parks inside the switch (see
+        :meth:`~repro.noc.switch.Switch.traverse`) and is woken only
+        by the event that can change its outcome — a credit return on
+        its starved output port, the release of the wormhole channel
+        it waits on, a flit into its empty buffer, or an arrival
+        completing its store-and-forward packet — with its per-cycle
+        stall statistics settled in bulk on wake-up.  A switch whose
+        scan list empties leaves the network's active list entirely;
+        an NI whose inject stalled on credits parks the same way.
+        Parked inputs cost zero Python per cycle, and a *partially*
+        blocked switch keeps streaming its movable inputs without
+        rescanning the blocked ones — at saturation this is the
+        headroom activity-proportional scheduling alone cannot reach.
         """
         now = self.cycle
         size = self._wheel_size
         slot = self._credit_wheel[now % size]
         if slot:
-            for out, target, port in slot:
+            for out, target in slot:
                 if out is not None:
                     # Inter-switch link: settle the return straight
                     # into the upstream output port's counter.
                     out.credits += 1
-                    if target._parked and (
-                        port in target._park_wait_ports
-                    ):
-                        target._credit_wake()
+                    if out.credit_waiters:
+                        target._credit_wake_port(out, now)
                 else:
                     # Injection link: the NI's credit counter.
                     target._credits += 1
@@ -378,46 +378,119 @@ class Network:
         moved = 0
         active = self._active_switches
         if active:
-            retire = False
-            for switch in active:
-                m = switch.traverse(now)
-                if m:
-                    moved += m
-                    if not switch._buffered:
-                        switch._active = False
-                        retire = True
-                elif switch._buffered:
-                    # Busy but fully blocked: park until the
-                    # unblocking event.
-                    switch._active = False
-                    switch._park(now)
-                    retire = True
-                else:
-                    switch._active = False
-                    retire = True
+            # One fused loop over every switch with movable inputs; a
+            # switch whose scan list empties (idle, or every input
+            # parked on its unblocking event) retires from the list.
+            moved, retire = traverse_all(
+                active, now, self._credit_wheel, self._flit_wheel, size
+            )
             if retire:
                 active[:] = [sw for sw in active if sw._active]
         slot = self._flit_wheel[now % size]
         if slot:
+            # Fused delivery: links feeding a switch input push the
+            # flit straight into the buffer (Switch.receive inlined —
+            # keep the two in lockstep), activating the input and
+            # waking the switch as needed; ejection links and custom
+            # sinks go through the bound ``sink``.
+            active = self._active_switches
             for link, flit in slot:
                 link.wire_count -= 1
-                link.sink(flit, now)
+                dst = link.dst
+                if dst is None:
+                    rx = link.rx
+                    if rx is None:
+                        link.sink(flit, now)
+                    else:
+                        # Ejection: hand the flit to reassembly,
+                        # retiring it from the in-flight count.
+                        self._in_flight_flits -= 1
+                        rx.receive(flit, now)
+                    continue
+                sw, port, buf = dst
+                fifo = buf._fifo
+                if len(fifo) >= buf.capacity:
+                    raise BufferFullError(
+                        f"push into full buffer {buf.name or id(buf)} "
+                        f"(capacity {buf.capacity})"
+                    )
+                fifo.append(flit)
+                counts = buf._pid_counts
+                if counts is not None:
+                    pid = flit.packet.pid
+                    counts[pid] = counts.get(pid, 0) + 1
+                buf.total_pushes += 1
+                depth = len(fifo)
+                if depth > buf.peak_occupancy:
+                    buf.peak_occupancy = depth
+                sw._buffered += 1
+                if depth == 1:
+                    # Previously empty input: a new head to route.
+                    if not sw._in_listed[port]:
+                        sw._in_listed[port] = True
+                        sw._in_active[port] = True
+                        sw._scan.append(sw._in_tuples[port])
+                    if not sw._active:
+                        sw._active = True
+                        active.append(sw)
+                elif (
+                    sw._sf_mode
+                    and sw._in_parked[port]
+                    and sw._in_park_head[port] is None
+                ):
+                    # Store-and-forward: the arrival may complete the
+                    # waiting head packet.
+                    sw._unpark_input(port)
             del slot[:]
         active = self._active_nis
         if active:
+            # NetworkInterface.inject inlined (keep the two in
+            # lockstep): one flit on the wire per NI per cycle is a
+            # hot path at saturation.  NIs on the active list are
+            # never parked, and network-wired injection links always
+            # share the global flit wheel.
+            fwheel = self._flit_wheel
             retire = False
             for ni in active:
-                if ni.inject(now):
-                    if not ni._flits:
-                        ni._active = False
-                        retire = True
-                elif ni._flits:
-                    # Credit-starved: park until the injection link
-                    # returns a credit (or a fresh offer arrives).
+                flits = ni._flits
+                if not flits:
+                    ni._active = False
+                    retire = True
+                    continue
+                if ni._credits <= 0:
+                    # Credit-starved: stall, then park until the
+                    # injection link returns a credit (or a fresh
+                    # offer arrives).
+                    ni._stall_cycles += 1
+                    flits[0].stall_cycles += 1
                     ni._active = False
                     ni._park(now)
                     retire = True
-                else:
+                    continue
+                flit = flits.popleft()
+                if flit.is_head:
+                    flit.packet.wire_entry_cycle = now
+                link = ni._link
+                if link._last_send_cycle == now:
+                    link.send(flit, now)  # raises the protocol error
+                link._last_send_cycle = now
+                fwheel[(now + link.delay) % size].append((link, flit))
+                link.wire_count += 1
+                link.flits_carried += 1
+                ni._credits -= 1
+                ni.injected_flits += 1
+                if flit.is_tail:
+                    ni.injected_packets += 1
+                level = ni._drain_level
+                if level is not None and len(flits) == level - 1:
+                    # The source queue just dropped below the
+                    # generator's backpressure limit: fire the
+                    # one-shot drain watch.
+                    callback = ni._on_drain
+                    ni._drain_level = None
+                    ni._on_drain = None
+                    callback(now)
+                if not flits:
                     ni._active = False
                     retire = True
             if retire:
@@ -432,13 +505,15 @@ class Network:
         """One cycle via the original scan-everything dataflow.
 
         Kept as the parity oracle for :meth:`step`: it visits every
-        link, switch and NI each cycle regardless of activity, so it is
+        switch and NI each cycle regardless of activity, so it is
         size-proportional but trivially correct.  The wake-up hooks and
         the in-flight counter are maintained by the components
-        themselves, and components parked by the event-driven path
-        self-heal (settle and unpark) when this path traverses or
-        injects them, so the bookkeeping stays consistent even when
-        the two paths alternate on one fabric.
+        themselves, and state parked by the event-driven path
+        self-heals — :meth:`~repro.noc.switch.Switch.traverse_reference`
+        settles and re-arms every parked input before its full scan,
+        and a parked NI settles inside ``inject`` — so the bookkeeping
+        stays consistent even when the two paths alternate on one
+        fabric.
         """
         now = self.cycle
         self._drain_credit_slot(now)
@@ -446,8 +521,8 @@ class Network:
         active = self._active_switches
         compact = False
         for switch in self.switches:
-            moved += switch.traverse(now)
-            if switch._buffered:
+            moved += switch.traverse_reference(now)
+            if switch._scan:
                 if not switch._active:
                     switch._active = True
                     active.append(switch)
@@ -486,13 +561,11 @@ class Network:
         """
         slot = self._credit_wheel[now % self._wheel_size]
         if slot:
-            for out, target, port in slot:
+            for out, target in slot:
                 if out is not None:
                     out.credits += 1
-                    if target._parked and (
-                        port in target._park_wait_ports
-                    ):
-                        target._credit_wake()
+                    if out.credit_waiters:
+                        target._credit_wake_port(out, now)
                 else:
                     target._credits += 1
                     if target._parked:
@@ -542,7 +615,8 @@ class Network:
         Idle fast-forward helper: with the fabric quiescent nothing
         can observe a credit counter until the next flit moves (at or
         after ``target``), so early delivery is invisible — and with
-        no flit in flight nothing is parked, so no wake-up is due.
+        no flit buffered anywhere no input or NI is parked, so no
+        wake-up is due.
         Credits scheduled beyond ``target`` stay in their wheel slots,
         which remain correctly indexed after the jump (every pending
         arrival lies within one wheel revolution of the clock).
@@ -559,7 +633,7 @@ class Network:
                 break
             slot = wheel[(now + offset) % size]
             if slot:
-                for out, target_obj, _port in slot:
+                for out, target_obj in slot:
                     if out is not None:
                         out.credits += 1
                     else:

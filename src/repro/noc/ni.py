@@ -172,7 +172,6 @@ class NetworkInterface:
             )
             link.wire_count += 1
             link.flits_carried += 1
-            link.busy_cycles += 1
         self._credits -= 1
         self.injected_flits += 1
         if flit.is_tail:
@@ -257,6 +256,8 @@ class ReassemblyBuffer:
         "name",
         "on_packet",
         "_partial",
+        "_last_pid",
+        "_last_flits",
         "received_flits",
         "received_packets",
         "misrouted_flits",
@@ -274,6 +275,12 @@ class ReassemblyBuffer:
         self.name = name or f"rx{node}"
         self.on_packet = on_packet
         self._partial: Dict[int, List[Flit]] = {}
+        # One-packet cache over ``_partial``: wormhole switching
+        # delivers each packet's flits contiguously, so the list the
+        # previous flit landed in is almost always the one the next
+        # flit wants — skipping a dict lookup per ejected flit.
+        self._last_pid: Optional[int] = None
+        self._last_flits: Optional[List[Flit]] = None
         # Statistics.
         self.received_flits = 0
         self.received_packets = 0
@@ -289,13 +296,20 @@ class ReassemblyBuffer:
                 f" routing tables are inconsistent"
             )
         pid = flit.packet.pid
-        flits = self._partial.get(pid)
-        if flits is None:
-            flits = self._partial[pid] = []
+        if pid == self._last_pid:
+            flits = self._last_flits
+        else:
+            flits = self._partial.get(pid)
+            if flits is None:
+                flits = self._partial[pid] = []
+            self._last_pid = pid
+            self._last_flits = flits
         flits.append(flit)
         if len(flits) < flit.packet.length:
             return None
         del self._partial[pid]
+        self._last_pid = None
+        self._last_flits = None
         self.received_packets += 1
         packet = flit.packet
         if self.on_packet is not None:

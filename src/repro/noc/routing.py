@@ -37,6 +37,34 @@ class RoutingError(RuntimeError):
     """Raised when no route exists for a (switch, destination) pair."""
 
 
+def compile_dense_route_table(
+    routing: "RoutingFunction", switch_id: int, n_nodes: int
+) -> Optional[List[Optional[int]]]:
+    """Compile one switch's routes into a dense ``dst -> port`` array.
+
+    The per-hop routing decision of a table-based function is two dict
+    lookups plus exception handling; the network compiles it once at
+    platform build into a plain list the traverse indexes directly.
+    Entries stay ``None`` — falling back to
+    :meth:`RoutingFunction.output_port` per head flit — when the
+    decision is not a single static port: multipath candidates (the
+    per-packet hash must keep choosing) and missing destinations (the
+    fallback raises the proper :class:`RoutingError`).  Routing
+    functions that cannot enumerate their ports (no ``ports_for``)
+    compile to ``None``: the switch then routes every head through the
+    function, exactly as before compilation.
+    """
+    try:
+        table: List[Optional[int]] = [None] * n_nodes
+        for dst in range(n_nodes):
+            ports = routing.ports_for(switch_id, dst)
+            if len(ports) == 1:
+                table[dst] = ports[0]
+        return table
+    except NotImplementedError:
+        return None
+
+
 def _mix(value: int) -> int:
     """A small integer hash (splitmix-style) for per-packet path choice."""
     value = (value ^ (value >> 16)) * 0x45D9F3B & 0xFFFFFFFF

@@ -12,18 +12,28 @@ such switch at cycle granularity:
 * wormhole switching (a HEAD flit locks an output port for its packet
   until the TAIL passes) or store-and-forward switching (a packet only
   moves once fully buffered) for the switching-mode ablation.
+
+Scheduling is *input-granular*: every input port is idle (empty
+buffer, not scanned), movable (on the scan list the per-cycle traverse
+examines) or parked (blocked head with frozen per-cycle stall deltas,
+re-armed only by the event that can unblock it — a credit return on
+its target output, the release of the wormhole channel it waits on, or
+a new arrival completing a store-and-forward packet).  A switch whose
+scan list is empty costs zero Python per cycle; a *partially* blocked
+switch keeps streaming its movable inputs without rescanning the
+blocked ones.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.noc.arbiter import Arbiter, make_arbiter
 from repro.noc.buffer import BufferFullError, FlitBuffer
 from repro.noc.flit import Flit
-from repro.noc.routing import RoutingFunction
+from repro.noc.routing import RoutingFunction, compile_dense_route_table
 
 
 class SwitchingMode(enum.Enum):
@@ -61,7 +71,17 @@ class SwitchConfig:
 
 @dataclass(slots=True)
 class _OutputPort:
-    """Book-keeping for one output port, wired up by the network."""
+    """Book-keeping for one output port, wired up by the network.
+
+    Besides the flow-control state, the port carries the persistent
+    per-output scheduling lists: ``requests`` (input indices requesting
+    this port in the current traverse — replaces the per-cycle request
+    dict rebuild), ``credit_waiters`` (parked inputs whose head starves
+    for this port's credits) and ``lock_waiters`` (parked inputs whose
+    head waits for this port's wormhole channel).  Waiter entries may
+    be stale — an input woken through another path skips them on
+    processing — so appends never need a membership check.
+    """
 
     send: Callable[[Flit, int], None]
     credits: int  # remaining downstream buffer slots (None -> infinite)
@@ -71,6 +91,12 @@ class _OutputPort:
     #: The Link behind ``send`` when the sink is a plain link, letting
     #: the traverse fast path inline the send; None for custom sinks.
     link: Optional[object] = None
+    #: The arbiter of this output port (the switch's per-output list
+    #: entry, cached here so the grant loop needs no index lookup).
+    arbiter: Optional[Arbiter] = None
+    requests: List[int] = field(default_factory=list)
+    credit_waiters: List[int] = field(default_factory=list)
+    lock_waiters: List[int] = field(default_factory=list)
 
 
 class Switch:
@@ -88,23 +114,31 @@ class Switch:
         "routing",
         "inputs",
         "arbiters",
-        "_in_scan",
         "_outputs",
         "_input_pop_hooks",
+        "_input_credit",
         "_input_route",
+        "_input_out",
+        "_route_dense",
         "_buffered",
         "_wake",
         "_clock",
         "_active",
         "_sf_mode",
-        "_parked",
-        "_park_cycle",
-        "_park_blocked",
-        "_park_credit_stalls",
-        "_park_wait_ports",
-        "_requests",
-        "_blocked_heads",
-        "_credit_blocked_ports",
+        "_scan",
+        "_in_tuples",
+        "_in_active",
+        "_in_listed",
+        "_in_parked",
+        "_in_park_cycle",
+        "_in_park_head",
+        "_in_park_credit",
+        "_parked_count",
+        "_req_ports",
+        "_cwheel",
+        "_cwheel_size",
+        "_fwheel",
+        "_fwheel_size",
         "flits_forwarded",
         "_blocked_flit_cycles",
         "_credit_stall_cycles",
@@ -131,55 +165,77 @@ class Switch:
             make_arbiter(config.arbitration, config.n_inputs)
             for _ in range(config.n_outputs)
         ]
-        # Pre-zipped (index, buffer, fifo) triples: the traverse scan
-        # touches each input without enumerate/attribute lookups (the
-        # deque identity is stable for the buffer's lifetime).
-        self._in_scan: List[tuple] = [
-            (i, buf, buf._fifo) for i, buf in enumerate(self.inputs)
-        ]
         self._outputs: List[Optional[_OutputPort]] = [
             None
         ] * config.n_outputs
-        # Called with the current cycle whenever a flit is popped from
-        # the corresponding input buffer, so the network can return a
-        # flow-control credit to whoever feeds that buffer.
+        # Upstream credit scheduling per input, one of two forms: the
+        # fused ``(delay, wheel entry)`` pair the network installs (the
+        # hop appends the entry straight into the credit wheel — no
+        # callback frame), or a plain hook for standalone switches.
         self._input_pop_hooks: List[Optional[Callable[[int], None]]] = [
             None
         ] * config.n_inputs
+        self._input_credit: List[Optional[Tuple[int, tuple]]] = [
+            None
+        ] * config.n_inputs
         # Cached route of the packet currently at the head of each input
-        # (set when its HEAD flit is routed, cleared when TAIL leaves).
+        # (set when its HEAD flit is routed, cleared when TAIL leaves):
+        # the output port index, and the _OutputPort object itself so
+        # the scan dereferences one list instead of two.
         self._input_route: List[Optional[int]] = [None] * config.n_inputs
+        self._input_out: List[Optional[_OutputPort]] = [
+            None
+        ] * config.n_inputs
+        # Dense routing array ``dst -> output port`` compiled by the
+        # network at build (None before compilation, and None entries
+        # fall back to the routing function: multipath choice or a
+        # proper RoutingError for missing destinations).
+        self._route_dense: Optional[List[Optional[int]]] = None
         # Incremental flit count across all input buffers, and the
         # network's wake-up hook fired whenever the switch needs to
-        # (re)join the active set: on the empty -> busy transition and
-        # on unpark (event-driven scheduling: an idle or fully blocked
-        # switch costs nothing per cycle).  ``_clock`` reads the
-        # network cycle and gates parking: without it (standalone
-        # switches in unit tests) the switch never parks.
+        # (re)join the active set.  ``_clock`` reads the network cycle
+        # and gates parking: without it (standalone switches in unit
+        # tests) no input ever parks and every blocked head re-ticks
+        # per cycle, the seed behaviour.
         self._buffered = 0
         self._wake: Optional[Callable[[], None]] = None
         self._clock: Optional[Callable[[], int]] = None
         self._active = False
         self._sf_mode = config.mode is SwitchingMode.STORE_AND_FORWARD
-        # Parking state.  A switch whose every pending traverse is
-        # blocked (no credits, channel locked, store-and-forward
-        # waiting on a partial packet) leaves the network's active set
-        # and freezes here: the blocked heads of the parking cycle,
-        # how many of them stalled purely on credits, and the output
-        # ports whose credit return can unblock them.  Stall
-        # statistics for the parked stretch are bulk-settled on
-        # wake-up (see ``_settle``), so a parked cycle costs zero
-        # Python.
-        self._parked = False
-        self._park_cycle = 0  # last cycle whose stalls are settled
-        self._park_blocked: Tuple[Flit, ...] = ()
-        self._park_credit_stalls = 0
-        self._park_wait_ports: FrozenSet[int] = frozenset()
-        # Scratch containers reused across traverse calls (cleared at
-        # the start of each call) to keep allocations off the hot path.
-        self._requests: Dict[int, List[int]] = {}
-        self._blocked_heads: List[Flit] = []
-        self._credit_blocked_ports: List[int] = []
+        # Input-granular scheduling state.  ``_scan`` holds the
+        # (index, buffer, fifo) tuples of the movable inputs; the
+        # per-input flags track list membership (``_in_listed``,
+        # physical presence until the next compaction) and liveness
+        # (``_in_active``).  A parked input freezes the blocked head
+        # of its parking cycle plus whether it stalled purely on
+        # credits; the per-cycle stall statistics of the parked
+        # stretch are settled in bulk on wake-up (see
+        # ``_settle_input``), so a parked input costs zero Python per
+        # cycle.
+        n_in = config.n_inputs
+        self._in_tuples: List[tuple] = [
+            (i, buf, buf._fifo) for i, buf in enumerate(self.inputs)
+        ]
+        self._scan: List[tuple] = []
+        self._in_active: List[bool] = [False] * n_in
+        self._in_listed: List[bool] = [False] * n_in
+        self._in_parked: List[bool] = [False] * n_in
+        self._in_park_cycle: List[int] = [0] * n_in
+        self._in_park_head: List[Optional[Flit]] = [None] * n_in
+        self._in_park_credit: List[bool] = [False] * n_in
+        self._parked_count = 0
+        # Scratch list of output ports with pending requests this
+        # traverse (reused across calls; the per-output ``requests``
+        # lists live on the ports themselves).
+        self._req_ports: List[_OutputPort] = []
+        # Delivery-wheel wiring for the fused hop (set by the
+        # network; every network link shares the two global wheels, so
+        # the hop indexes them directly instead of dereferencing the
+        # link's copy).
+        self._cwheel: Optional[List[list]] = None
+        self._cwheel_size = 1
+        self._fwheel: Optional[List[list]] = None
+        self._fwheel_size = 1
         # Statistics.
         self.flits_forwarded = 0
         self._blocked_flit_cycles = 0  # head wanted to move, couldn't
@@ -214,18 +270,43 @@ class Switch:
             credits=0 if infinite else credits,
             infinite_credits=infinite,
             link=link,
+            arbiter=self.arbiters[port],
         )
 
     def connect_input_hook(
         self, port: int, hook: Callable[[int], None]
     ) -> None:
-        """Register the credit-return hook for input ``port``."""
-        if self._input_pop_hooks[port] is not None:
+        """Register a credit-return callback for input ``port``.
+
+        Standalone path: the network wires its switches through
+        :meth:`_connect_input_credit` instead, which fuses the credit
+        schedule into the hop itself.
+        """
+        if (
+            self._input_pop_hooks[port] is not None
+            or self._input_credit[port] is not None
+        ):
             raise RuntimeError(
                 f"input port {port} of switch {self.switch_id} already"
                 f" has a credit hook"
             )
         self._input_pop_hooks[port] = hook
+
+    def _connect_input_credit(
+        self, port: int, delay: int, entry: tuple
+    ) -> None:
+        """Fused credit return for input ``port``: every pop appends
+        ``entry`` to the network credit wheel ``delay`` cycles out, as
+        one list append on the hop itself (no callback frame)."""
+        if (
+            self._input_pop_hooks[port] is not None
+            or self._input_credit[port] is not None
+        ):
+            raise RuntimeError(
+                f"input port {port} of switch {self.switch_id} already"
+                f" has a credit hook"
+            )
+        self._input_credit[port] = (delay, entry)
 
     def check_wired(self) -> None:
         for port, out in enumerate(self._outputs):
@@ -234,6 +315,13 @@ class Switch:
                     f"output port {port} of switch {self.switch_id} is"
                     f" not connected"
                 )
+
+    def _compile_routes(self, n_nodes: int) -> None:
+        """Compile the routing function into a dense per-destination
+        array (called by the network once the platform is wired)."""
+        self._route_dense = compile_dense_route_table(
+            self.routing, self.switch_id, n_nodes
+        )
 
     # ------------------------------------------------------------------
     # Per-cycle interface
@@ -262,21 +350,26 @@ class Switch:
         if len(fifo) > buf.peak_occupancy:
             buf.peak_occupancy = len(fifo)
         self._buffered += 1
-        if self._buffered == 1:
-            # Empty -> busy: an empty switch is never parked.
-            if self._wake is not None:
+        if len(fifo) == 1:
+            # Previously empty input: a new head to route.  (An input
+            # with an empty buffer is never parked, so this is purely
+            # a scan-list activation.)
+            if not self._in_listed[port]:
+                self._in_listed[port] = True
+                self._in_active[port] = True
+                self._scan.append(self._in_tuples[port])
+            if not self._active and self._wake is not None:
                 self._wake()
-        elif self._parked and (len(fifo) == 1 or self._sf_mode):
-            # A flit into a previously empty buffer creates a new head
-            # to route, and under store-and-forward any arrival can
-            # complete a waiting packet: wake up.  A flit landing
-            # behind an already blocked head changes nothing — stay
-            # parked.  The traverse of this cycle already passed, so
-            # settlement includes the current cycle.
-            self._settle(now)
-            self._parked = False
-            if self._wake is not None:
-                self._wake()
+        elif (
+            self._sf_mode
+            and self._in_parked[port]
+            and self._in_park_head[port] is None
+        ):
+            # Store-and-forward input waiting on a partial packet: this
+            # arrival may complete it — re-examine next traverse.  (A
+            # flit landing behind a credit- or lock-blocked head, in
+            # either switching mode, changes nothing: stay parked.)
+            self._unpark_input(port)
 
     def credit(self, port: int, count: int = 1) -> None:
         """Downstream freed ``count`` buffer slots behind output ``port``."""
@@ -284,45 +377,42 @@ class Switch:
         assert out is not None
         if not out.infinite_credits:
             out.credits += count
-        if self._parked and port in self._park_wait_ports:
-            self._credit_wake()
+        if out.credit_waiters:
+            self._credit_wake_port(out)
 
-    def _credit_wake(self) -> None:
-        """Wake from parked: the credit a blocked head starved for
-        arrived.  Credits return in the network's first phase, before
-        this cycle's traverse, so settlement stops at the previous
-        cycle and the switch re-enters the active set in time to move
-        the unblocked flit this cycle."""
-        self._settle(self._clock() - 1)
-        self._parked = False
-        if self._wake is not None:
-            self._wake()
+    def _credit_wake_port(
+        self, out: _OutputPort, now: Optional[int] = None
+    ) -> None:
+        """A credit returned on a port with parked waiters.  Credits
+        land in the network's first phase, before this cycle's
+        traverse, so settlement stops at the previous cycle and the
+        inputs re-enter the scan in time to move this cycle.  Stale
+        entries (inputs woken through another path since they
+        registered) are skipped.  ``now`` is the delivery cycle when
+        the caller knows it (the network's credit drain); otherwise
+        the switch clock provides it."""
+        until = (self._clock() if now is None else now) - 1
+        parked = self._in_parked
+        waiters = out.credit_waiters
+        for i in waiters:
+            if parked[i]:
+                self._wake_input(i, until)
+        del waiters[:]
 
-    def _desired_output(self, input_port: int) -> Optional[int]:
-        """Output the head flit of ``input_port`` wants, or None to wait.
+    def _route_head(self, head: Flit, buf: FlitBuffer) -> Optional[int]:
+        """Route an unrouted head flit (slow/store-and-forward path).
 
-        Routes HEAD flits through the routing function and caches the
-        result so the packet's body follows the same channel.  Under
-        store-and-forward, a packet only requests an output once all of
-        its flits sit in the buffer.
+        Returns ``None`` when a store-and-forward packet must keep
+        waiting for the rest of its flits.
         """
-        buf = self.inputs[input_port]
-        fifo = buf._fifo
-        if not fifo:
-            return None
-        head = fifo[0]
-        cached = self._input_route[input_port]
-        if cached is not None:
-            # Mid-packet: follow the channel the HEAD flit opened.
-            return cached
         # Only HEAD flits may be unrouted; a BODY flit at the head of a
         # buffer with no cached route indicates a protocol bug.
         if not head.is_head:
             raise RuntimeError(
-                f"non-head flit {head!r} at head of"
-                f" sw{self.switch_id}.in{input_port} without a route"
+                f"non-head flit {head!r} at head of an input of"
+                f" sw{self.switch_id} without a route"
             )
-        if self.config.mode is SwitchingMode.STORE_AND_FORWARD:
+        if self._sf_mode:
             length = head.packet.length
             if length > buf.capacity:
                 raise RuntimeError(
@@ -332,51 +422,75 @@ class Switch:
                 )
             if buf.packet_flit_count(head.packet.pid) < length:
                 return None  # wait for the full packet
-        route = self.routing.output_port(self.switch_id, head)
-        self._input_route[input_port] = route
-        return route
+        dense = self._route_dense
+        if dense is not None:
+            port = dense[head.dst]
+            if port is not None:
+                return port
+        return self.routing.output_port(self.switch_id, head)
 
     def traverse(self, now: int) -> int:
         """One cycle of arbitration and switch traversal.
 
         Returns the number of flits forwarded this cycle.  At most one
         flit leaves per output port and at most one flit leaves per
-        input port.
+        input port.  Only the movable inputs are examined: an input
+        whose head is blocked parks individually (when a network clock
+        is attached) and is re-armed by the event that can unblock it,
+        while the remaining inputs keep streaming.
         """
-        # Fast idle path: nothing buffered, nothing to do.
-        if not self._buffered:
+        scan = self._scan
+        if not scan:
             return 0
-        if self._parked:
-            # Self-healing for the scan-everything reference path (and
-            # mixed stepping): a traverse on a parked switch settles
-            # the parked stretch first, then ticks this cycle itself.
-            self._settle(now - 1)
-            self._parked = False
-        inputs = self.inputs
-        outputs = self._outputs
-        routes = self._input_route
-        pop_hooks = self._input_pop_hooks
-        requests = self._requests
-        blocked_heads = self._blocked_heads
-        credit_ports = self._credit_blocked_ports
-        if requests:
-            requests.clear()
-        if blocked_heads:
-            blocked_heads.clear()
-        if credit_ports:
-            credit_ports.clear()
+        route_outs = self._input_out
+        actives = self._in_active
+        credit_entries = self._input_credit
+        cwheel = self._cwheel
+        csize = self._cwheel_size
+        fwheel = self._fwheel
+        fsize = self._fwheel_size
+        can_park = self._clock is not None
+        req_ports = self._req_ports
+        if req_ports:
+            # A previous traverse aborted mid-scan (a protocol error
+            # surfaced in a unit test): drop its stale requests.
+            for out in req_ports:
+                del out.requests[:]
+            del req_ports[:]
         moved = 0
-        for i, buf, fifo in self._in_scan:
+        compact = False
+        for entry in scan:
+            i, buf, fifo = entry
             if not fifo:
+                # Drained since it last moved: back to idle.
+                actives[i] = False
+                compact = True
                 continue
-            # Mid-packet flits follow the channel the HEAD opened; only
-            # unrouted heads take the full routing/S&F slow path.
-            desired = routes[i]
-            if desired is None:
-                desired = self._desired_output(i)
-                if desired is None:
-                    continue
-            out = outputs[desired]
+            out = route_outs[i]
+            if out is None:
+                head = fifo[0]
+                route_dense = self._route_dense
+                if (
+                    route_dense is not None
+                    and not self._sf_mode
+                    and head.is_head
+                ):
+                    desired = route_dense[head.dst]
+                    if desired is None:
+                        desired = self.routing.output_port(
+                            self.switch_id, head
+                        )
+                else:
+                    desired = self._route_head(head, buf)
+                    if desired is None:
+                        # Store-and-forward packet still arriving: only
+                        # a flit into this input can change that.
+                        if can_park:
+                            self._park_input(i, now, None, False)
+                            compact = True
+                        continue
+                self._input_route[i] = desired
+                out = route_outs[i] = self._outputs[desired]
             lock = out.lock
             if lock == i:
                 flit = fifo[0]
@@ -392,11 +506,18 @@ class Switch:
                     elif out.credits > 0:
                         out.credits -= 1
                     else:
-                        blocked_heads.append(flit)
-                        credit_ports.append(desired)
+                        flit.stall_cycles += 1
+                        self._blocked_flit_cycles += 1
+                        self._credit_stall_cycles += 1
+                        if can_park:
+                            self._park_input(i, now, flit, True)
+                            out.credit_waiters.append(i)
+                            compact = True
                         continue
-                    # FlitBuffer.pop inlined (the other per-hop hot
-                    # spot); the buffer is non-empty by construction.
+                    # Fused hop: FlitBuffer.pop, the upstream credit
+                    # schedule and Link.send inlined (the per-flit-hop
+                    # hot spots); the buffer is non-empty by
+                    # construction.
                     fifo.popleft()
                     buf.total_pops += 1
                     counts = buf._pid_counts
@@ -408,52 +529,70 @@ class Switch:
                         else:
                             del counts[pid]
                     self._buffered -= 1
-                    hook = pop_hooks[i]
-                    if hook is not None:
-                        hook(now)
+                    ce = credit_entries[i]
+                    if ce is not None:
+                        cwheel[(now + ce[0]) % csize].append(ce[1])
+                    else:
+                        hook = self._input_pop_hooks[i]
+                        if hook is not None:
+                            hook(now)
                     link = out.link
-                    if link is None or link.wheel is None:
+                    if link is None or fwheel is None:
                         out.send(flit, now)
                     else:
-                        # Link.send inlined: the third per-hop hot
-                        # spot.  The flit goes straight into the
-                        # network's delivery wheel slot for its
-                        # arrival cycle.
                         if link._last_send_cycle == now:
                             out.send(flit, now)  # raises the protocol error
                         link._last_send_cycle = now
-                        link.wheel[
-                            (now + link.delay) % link.wheel_size
-                        ].append((link, flit))
+                        fwheel[(now + link.delay) % fsize].append(
+                            (link, flit)
+                        )
                         link.wire_count += 1
                         link.flits_carried += 1
-                        link.busy_cycles += 1
                     out.flits_sent += 1
                     moved += 1
                     continue
             elif lock is not None:
-                # Channel held by another packet's wormhole.
-                blocked_heads.append(fifo[0])
+                # Channel held by another packet's wormhole: only the
+                # tail of that packet can release it.
+                head = fifo[0]
+                head.stall_cycles += 1
+                self._blocked_flit_cycles += 1
+                if can_park:
+                    self._park_input(i, now, head, False)
+                    out.lock_waiters.append(i)
+                    compact = True
                 continue
             if not out.infinite_credits and out.credits <= 0:
-                blocked_heads.append(fifo[0])
-                credit_ports.append(desired)
+                head = fifo[0]
+                head.stall_cycles += 1
+                self._blocked_flit_cycles += 1
+                self._credit_stall_cycles += 1
+                if can_park:
+                    self._park_input(i, now, head, True)
+                    out.credit_waiters.append(i)
+                    compact = True
                 continue
-            if desired in requests:
-                requests[desired].append(i)
-            else:
-                requests[desired] = [i]
+            reqs = out.requests
+            if not reqs:
+                req_ports.append(out)
+            reqs.append(i)
 
-        if requests:
-            for port, reqs in requests.items():
-                out = outputs[port]
-                if out.lock is not None:
-                    # The locked input has exclusive use of this channel.
-                    winner = out.lock
+        if req_ports:
+            inputs = self.inputs
+            for out in req_ports:
+                reqs = out.requests
+                lock = out.lock
+                if lock is not None:
+                    # The locked input has exclusive use of this
+                    # channel (every other contender is lock-blocked),
+                    # so ``reqs`` is exactly ``[lock]``.
+                    winner = lock
+                elif len(reqs) == 1:
+                    winner = out.arbiter.grant_single(reqs[0])
                 else:
-                    winner = self.arbiters[port].grant(reqs)
-                # FlitBuffer.pop and Link.send inlined, as on the
-                # streaming path (head/tail flits come through here).
+                    winner = out.arbiter.grant(reqs)
+                # The fused hop again (head/tail flits come through
+                # here).
                 buf = inputs[winner]
                 fifo = buf._fifo
                 flit = fifo.popleft()
@@ -467,22 +606,25 @@ class Switch:
                     else:
                         del counts[pid]
                 self._buffered -= 1
-                hook = pop_hooks[winner]
-                if hook is not None:
-                    hook(now)
+                ce = credit_entries[winner]
+                if ce is not None:
+                    cwheel[(now + ce[0]) % csize].append(ce[1])
+                else:
+                    hook = self._input_pop_hooks[winner]
+                    if hook is not None:
+                        hook(now)
                 link = out.link
-                if link is None or link.wheel is None:
+                if link is None or fwheel is None:
                     out.send(flit, now)
                 else:
                     if link._last_send_cycle == now:
                         out.send(flit, now)  # raises the protocol error
                     link._last_send_cycle = now
-                    link.wheel[
-                        (now + link.delay) % link.wheel_size
-                    ].append((link, flit))
+                    fwheel[(now + link.delay) % fsize].append(
+                        (link, flit)
+                    )
                     link.wire_count += 1
                     link.flits_carried += 1
-                    link.busy_cycles += 1
                 out.flits_sent += 1
                 if not out.infinite_credits:
                     out.credits -= 1
@@ -490,74 +632,171 @@ class Switch:
                 # Wormhole channel state.
                 if flit.is_tail:
                     out.lock = None
-                    routes[winner] = None
+                    self._input_route[winner] = None
+                    route_outs[winner] = None
+                    lw = out.lock_waiters
+                    if lw:
+                        # The channel the waiters starved for is free:
+                        # they were blocked through this cycle (the
+                        # release is post-scan), so settlement includes
+                        # it and the scan re-examines them next cycle.
+                        parked = self._in_parked
+                        for j in lw:
+                            if parked[j]:
+                                self._wake_input(j, now)
+                        del lw[:]
                 elif flit.is_head:
                     out.lock = winner
-                # Losers of this arbitration stalled.
-                for loser in reqs:
-                    if loser != winner:
-                        head = inputs[loser].head()
-                        if head is not None:
-                            blocked_heads.append(head)
+                # Losers of this arbitration stalled (they may win the
+                # very next cycle, so they stay on the scan list).
+                n_reqs = len(reqs)
+                if n_reqs > 1:
+                    for loser in reqs:
+                        if loser != winner:
+                            inputs[loser]._fifo[0].stall_cycles += 1
+                    self._blocked_flit_cycles += n_reqs - 1
+                del reqs[:]
+            del req_ports[:]
 
-        if blocked_heads:
-            for head in blocked_heads:
-                head.stall_cycles += 1
-            self._blocked_flit_cycles += len(blocked_heads)
-            if credit_ports:
-                self._credit_stall_cycles += len(credit_ports)
+        if compact:
+            listed = self._in_listed
+            keep = []
+            for entry in scan:
+                if actives[entry[0]]:
+                    keep.append(entry)
+                else:
+                    listed[entry[0]] = False
+            scan[:] = keep
         self.flits_forwarded += moved
         return moved
 
-    # ------------------------------------------------------------------
-    # Parking (driven by the network's event-driven step)
-    # ------------------------------------------------------------------
-    def _park(self, now: int) -> None:
-        """Freeze the blocked state of the traverse that just ran.
+    def traverse_reference(self, now: int) -> int:
+        """One cycle via the scan-everything discipline (parity oracle).
 
-        Called by the network when a busy switch moved nothing this
-        cycle: every non-empty input is then blocked (no credits,
-        channel locked by another wormhole, or store-and-forward
-        waiting on a partial packet), and — absent external events —
-        every later traverse would reproduce this cycle's outcome
-        exactly.  The switch leaves the active set; ``receive`` and
-        ``credit`` wake it on precisely the events that can change the
-        outcome, settling the per-cycle stall statistics for the whole
-        parked stretch in one step.
+        Self-heals the input-granular parked state first: every parked
+        input settles its stretch and rejoins the scan, so this path
+        re-examines the whole switch each cycle exactly as the seed
+        dataflow did (blocked inputs then re-park with zero elapsed
+        cycles, which keeps mixed stepping coherent).  The waiter
+        registrations of the woken inputs become stale and are purged
+        wholesale.
         """
-        self._parked = True
-        self._park_cycle = now
-        self._park_blocked = tuple(self._blocked_heads)
-        ports = self._credit_blocked_ports
-        self._park_credit_stalls = len(ports)
-        self._park_wait_ports = frozenset(ports)
+        if self._parked_count:
+            until = now - 1
+            parked = self._in_parked
+            for i in range(len(parked)):
+                if parked[i]:
+                    self._wake_input(i, until)
+            for out in self._outputs:
+                if out.credit_waiters:
+                    del out.credit_waiters[:]
+                if out.lock_waiters:
+                    del out.lock_waiters[:]
+        return self.traverse(now)
 
-    def _settle(self, until: int) -> None:
+    # ------------------------------------------------------------------
+    # Input-granular parking
+    # ------------------------------------------------------------------
+    def _park_input(
+        self, i: int, now: int, head: Optional[Flit], credit: bool
+    ) -> None:
+        """Freeze input ``i`` after its blocked examination at ``now``.
+
+        The traverse already ticked this cycle's stall, so settlement
+        starts at ``now + 1``.  ``head`` is the blocked flit charged
+        one stall per parked cycle (None for a store-and-forward input
+        waiting on a partial packet, which stalls nothing); ``credit``
+        marks the stall as purely credit-bound.
+        """
+        self._in_active[i] = False
+        self._in_parked[i] = True
+        self._in_park_cycle[i] = now
+        self._in_park_head[i] = head
+        self._in_park_credit[i] = credit
+        self._parked_count += 1
+
+    def _settle_input(self, i: int, until: int) -> None:
         """Account the stalls of parked cycles ``park_cycle+1..until``.
 
         Equivalent to running ``traverse`` for each of those cycles:
-        every frozen blocked head stalls once per cycle, the switch
+        the frozen blocked head stalls once per cycle and the switch
         counters advance by the same per-cycle deltas the parking
-        traverse produced.
+        examination produced.
         """
-        elapsed = until - self._park_cycle
+        elapsed = until - self._in_park_cycle[i]
         if elapsed <= 0:
             return
-        self._park_cycle = until
-        blocked = self._park_blocked
-        if blocked:
-            for head in blocked:
-                head.stall_cycles += elapsed
-            self._blocked_flit_cycles += len(blocked) * elapsed
-            self._credit_stall_cycles += (
-                self._park_credit_stalls * elapsed
-            )
+        self._in_park_cycle[i] = until
+        head = self._in_park_head[i]
+        if head is not None:
+            head.stall_cycles += elapsed
+            self._blocked_flit_cycles += elapsed
+            if self._in_park_credit[i]:
+                self._credit_stall_cycles += elapsed
 
-    def _pending_park_cycles(self) -> int:
-        """Parked cycles whose stalls are not yet settled (read path)."""
-        if not self._parked or self._clock is None:
-            return 0
-        return max(0, self._clock() - 1 - self._park_cycle)
+    def _unpark_input(self, i: int) -> None:
+        """Re-arm input ``i``: back on the scan list, switch woken."""
+        self._in_parked[i] = False
+        self._in_park_head[i] = None
+        self._parked_count -= 1
+        self._in_active[i] = True
+        if not self._in_listed[i]:
+            self._in_listed[i] = True
+            self._scan.append(self._in_tuples[i])
+        if not self._active and self._wake is not None:
+            self._wake()
+
+    def _wake_input(self, i: int, until: int) -> None:
+        """Settle input ``i`` through ``until`` and re-arm it.
+
+        ``_settle_input`` + ``_unpark_input`` fused into one frame:
+        credit-return and lock-release wakes are the churn path of the
+        saturation regime.
+        """
+        elapsed = until - self._in_park_cycle[i]
+        if elapsed > 0:
+            self._in_park_cycle[i] = until
+            head = self._in_park_head[i]
+            if head is not None:
+                head.stall_cycles += elapsed
+                self._blocked_flit_cycles += elapsed
+                if self._in_park_credit[i]:
+                    self._credit_stall_cycles += elapsed
+        self._in_parked[i] = False
+        self._in_park_head[i] = None
+        self._parked_count -= 1
+        self._in_active[i] = True
+        if not self._in_listed[i]:
+            self._in_listed[i] = True
+            self._scan.append(self._in_tuples[i])
+        if not self._active and self._wake is not None:
+            self._wake()
+
+    @property
+    def parked_inputs(self) -> Tuple[int, ...]:
+        """Indices of the currently parked input ports (test hook)."""
+        return tuple(
+            i for i, parked in enumerate(self._in_parked) if parked
+        )
+
+    def _pending_stall_deltas(self) -> Tuple[int, int]:
+        """(blocked, credit) stalls of parked cycles not yet settled."""
+        if not self._parked_count or self._clock is None:
+            return 0, 0
+        until = self._clock() - 1
+        blocked = credit = 0
+        parked = self._in_parked
+        heads = self._in_park_head
+        cycles = self._in_park_cycle
+        credit_flags = self._in_park_credit
+        for i in range(len(parked)):
+            if parked[i] and heads[i] is not None:
+                pending = until - cycles[i]
+                if pending > 0:
+                    blocked += pending
+                    if credit_flags[i]:
+                        credit += pending
+        return blocked, credit
 
     # ------------------------------------------------------------------
     # Statistics
@@ -575,24 +814,15 @@ class Switch:
     @property
     def blocked_flit_cycles(self) -> int:
         """Head-of-line blocking events (settled through the last
-        emulated cycle, including any still-parked stretch)."""
-        pending = self._pending_park_cycles()
-        if pending:
-            return self._blocked_flit_cycles + pending * len(
-                self._park_blocked
-            )
-        return self._blocked_flit_cycles
+        emulated cycle, including any still-parked inputs)."""
+        pending, _ = self._pending_stall_deltas()
+        return self._blocked_flit_cycles + pending
 
     @property
     def credit_stall_cycles(self) -> int:
         """Subset of blocking events stalled purely on credits."""
-        pending = self._pending_park_cycles()
-        if pending:
-            return (
-                self._credit_stall_cycles
-                + pending * self._park_credit_stalls
-            )
-        return self._credit_stall_cycles
+        _, pending = self._pending_stall_deltas()
+        return self._credit_stall_cycles + pending
 
     def output_credits(self, port: int) -> Optional[int]:
         """Remaining credits of output ``port`` (None = infinite)."""
@@ -601,13 +831,17 @@ class Switch:
         return None if out.infinite_credits else out.credits
 
     def reset_stats(self) -> None:
-        if self._parked and self._clock is not None:
+        if self._parked_count and self._clock is not None:
             # Reset-while-parked: per-flit stall counters survive a
-            # statistics reset, so the parked stretch up to the reset
+            # statistics reset, so each parked stretch up to the reset
             # must settle into them first; the switch counters are
-            # then zeroed and the (still valid) parked state keeps
+            # then zeroed and the (still valid) parked inputs keep
             # accumulating into the fresh window.
-            self._settle(self._clock() - 1)
+            until = self._clock() - 1
+            parked = self._in_parked
+            for i in range(len(parked)):
+                if parked[i]:
+                    self._settle_input(i, until)
         self.flits_forwarded = 0
         self._blocked_flit_cycles = 0
         self._credit_stall_cycles = 0
@@ -622,3 +856,227 @@ class Switch:
             f" out={self.config.n_outputs},"
             f" depth={self.config.buffer_depth})"
         )
+
+
+def traverse_all(
+    active: List[Switch],
+    now: int,
+    cwheel: List[list],
+    fwheel: List[list],
+    wheel_size: int,
+) -> Tuple[int, bool]:
+    """One cycle of arbitration and traversal over the active switches.
+
+    The event kernel's switch phase fused into a single loop: with
+    input-granular parking a switch's scan is typically one or two
+    entries, so the Python frame and prologue of a per-switch
+    :meth:`Switch.traverse` call are a measurable share of the whole
+    phase.  This is that method's body applied to each switch in turn
+    — semantically identical, keep the two in lockstep — with the
+    parking gate constant-folded (network-wired switches always have
+    a clock) and the network's shared delivery wheels hoisted to
+    arguments.  Returns ``(flits moved, any switch left without
+    movable inputs)``.
+    """
+    csize = fsize = wheel_size
+    total_moved = 0
+    retire = False
+    for sw in active:
+        scan = sw._scan
+        if not scan:
+            sw._active = False
+            retire = True
+            continue
+        route_outs = sw._input_out
+        actives = sw._in_active
+        credit_entries = sw._input_credit
+        req_ports = sw._req_ports
+        if req_ports:
+            for out in req_ports:
+                del out.requests[:]
+            del req_ports[:]
+        moved = 0
+        compact = False
+        for entry in scan:
+            i, buf, fifo = entry
+            if not fifo:
+                actives[i] = False
+                compact = True
+                continue
+            out = route_outs[i]
+            if out is None:
+                head = fifo[0]
+                route_dense = sw._route_dense
+                if (
+                    route_dense is not None
+                    and not sw._sf_mode
+                    and head.is_head
+                ):
+                    desired = route_dense[head.dst]
+                    if desired is None:
+                        desired = sw.routing.output_port(
+                            sw.switch_id, head
+                        )
+                else:
+                    desired = sw._route_head(head, buf)
+                    if desired is None:
+                        sw._park_input(i, now, None, False)
+                        compact = True
+                        continue
+                sw._input_route[i] = desired
+                out = route_outs[i] = sw._outputs[desired]
+            lock = out.lock
+            if lock == i:
+                flit = fifo[0]
+                if not flit.is_tail:
+                    if out.infinite_credits:
+                        pass
+                    elif out.credits > 0:
+                        out.credits -= 1
+                    else:
+                        flit.stall_cycles += 1
+                        sw._blocked_flit_cycles += 1
+                        sw._credit_stall_cycles += 1
+                        sw._park_input(i, now, flit, True)
+                        out.credit_waiters.append(i)
+                        compact = True
+                        continue
+                    fifo.popleft()
+                    buf.total_pops += 1
+                    counts = buf._pid_counts
+                    if counts is not None:
+                        pid = flit.packet.pid
+                        remaining = counts[pid] - 1
+                        if remaining:
+                            counts[pid] = remaining
+                        else:
+                            del counts[pid]
+                    sw._buffered -= 1
+                    ce = credit_entries[i]
+                    if ce is not None:
+                        cwheel[(now + ce[0]) % csize].append(ce[1])
+                    else:
+                        hook = sw._input_pop_hooks[i]
+                        if hook is not None:
+                            hook(now)
+                    link = out.link
+                    if link is None:
+                        out.send(flit, now)
+                    else:
+                        if link._last_send_cycle == now:
+                            out.send(flit, now)
+                        link._last_send_cycle = now
+                        fwheel[(now + link.delay) % fsize].append(
+                            (link, flit)
+                        )
+                        link.wire_count += 1
+                        link.flits_carried += 1
+                    out.flits_sent += 1
+                    moved += 1
+                    continue
+            elif lock is not None:
+                head = fifo[0]
+                head.stall_cycles += 1
+                sw._blocked_flit_cycles += 1
+                sw._park_input(i, now, head, False)
+                out.lock_waiters.append(i)
+                compact = True
+                continue
+            if not out.infinite_credits and out.credits <= 0:
+                head = fifo[0]
+                head.stall_cycles += 1
+                sw._blocked_flit_cycles += 1
+                sw._credit_stall_cycles += 1
+                sw._park_input(i, now, head, True)
+                out.credit_waiters.append(i)
+                compact = True
+                continue
+            reqs = out.requests
+            if not reqs:
+                req_ports.append(out)
+            reqs.append(i)
+
+        if req_ports:
+            inputs = sw.inputs
+            for out in req_ports:
+                reqs = out.requests
+                lock = out.lock
+                if lock is not None:
+                    winner = lock
+                elif len(reqs) == 1:
+                    winner = out.arbiter.grant_single(reqs[0])
+                else:
+                    winner = out.arbiter.grant(reqs)
+                buf = inputs[winner]
+                fifo = buf._fifo
+                flit = fifo.popleft()
+                buf.total_pops += 1
+                counts = buf._pid_counts
+                if counts is not None:
+                    pid = flit.packet.pid
+                    remaining = counts[pid] - 1
+                    if remaining:
+                        counts[pid] = remaining
+                    else:
+                        del counts[pid]
+                sw._buffered -= 1
+                ce = credit_entries[winner]
+                if ce is not None:
+                    cwheel[(now + ce[0]) % csize].append(ce[1])
+                else:
+                    hook = sw._input_pop_hooks[winner]
+                    if hook is not None:
+                        hook(now)
+                link = out.link
+                if link is None:
+                    out.send(flit, now)
+                else:
+                    if link._last_send_cycle == now:
+                        out.send(flit, now)
+                    link._last_send_cycle = now
+                    fwheel[(now + link.delay) % fsize].append(
+                        (link, flit)
+                    )
+                    link.wire_count += 1
+                    link.flits_carried += 1
+                out.flits_sent += 1
+                if not out.infinite_credits:
+                    out.credits -= 1
+                moved += 1
+                if flit.is_tail:
+                    out.lock = None
+                    sw._input_route[winner] = None
+                    route_outs[winner] = None
+                    lw = out.lock_waiters
+                    if lw:
+                        parked = sw._in_parked
+                        for j in lw:
+                            if parked[j]:
+                                sw._wake_input(j, now)
+                        del lw[:]
+                elif flit.is_head:
+                    out.lock = winner
+                n_reqs = len(reqs)
+                if n_reqs > 1:
+                    for loser in reqs:
+                        if loser != winner:
+                            inputs[loser]._fifo[0].stall_cycles += 1
+                    sw._blocked_flit_cycles += n_reqs - 1
+                del reqs[:]
+            del req_ports[:]
+
+        if compact:
+            listed = sw._in_listed
+            keep = []
+            for entry in scan:
+                if actives[entry[0]]:
+                    keep.append(entry)
+                else:
+                    listed[entry[0]] = False
+            scan[:] = keep
+        sw.flits_forwarded += moved
+        total_moved += moved
+        if not scan:
+            sw._active = False
+            retire = True
+    return total_moved, retire

@@ -141,7 +141,11 @@ class TrafficGenerator:
 
         The pop happens in the network's inject phase of ``now``, a
         cycle whose (virtual) poll still saw a full queue: settle
-        through ``now`` and resume polling next cycle.
+        through ``now`` and resume polling next cycle.  Unlike a
+        control operation this changes nothing about the *model's*
+        schedule, so the ``_silent_until`` emission cache stays valid
+        — the resumed poll rounds skip straight past the silent
+        stretch instead of re-probing the model.
         """
         since = self._bp_since
         if since is None:
@@ -149,7 +153,8 @@ class TrafficGenerator:
         self._bp_since = None
         if now > since:
             self._backpressure_cycles += now - since
-        self.wake()
+        if self.on_wake is not None:
+            self.on_wake()
 
     def reset(self, seed: Optional[int] = None) -> None:
         """Rewind the model and clear the run counters."""

@@ -1,0 +1,84 @@
+"""Unit tests for the one-command bench driver (benchmarks/run_all.py).
+
+Running the perf benches themselves stays out of tier-1 (they are
+``-m perf``); these tests cover the driver's selection, collection and
+summary logic, which must not rot between perf PRs.
+"""
+
+import json
+
+import pytest
+
+from benchmarks import run_all
+
+
+class TestDiscovery:
+    def test_discovers_every_bench_file(self):
+        names = [p.rsplit("/", 1)[-1] for p in run_all.discover_benches()]
+        assert "bench_kernel_speed.py" in names
+        assert "bench_batch_throughput.py" in names
+        assert all(n.startswith("bench_") for n in names)
+        assert names == sorted(names)
+
+    def test_only_filters_by_substring(self):
+        names = [
+            p.rsplit("/", 1)[-1]
+            for p in run_all.discover_benches(["kernel", "batch"])
+        ]
+        assert names == [
+            "bench_kernel_speed.py",
+            "bench_batch_throughput.py",
+        ]
+
+    def test_unknown_filter_is_loud(self):
+        with pytest.raises(SystemExit, match="matches no bench file"):
+            run_all.discover_benches(["definitely_not_a_bench"])
+
+    def test_duplicate_matches_deduplicated(self):
+        paths = run_all.discover_benches(["kernel", "kernel_speed"])
+        assert len(paths) == 1
+
+
+class TestCollection:
+    def test_collect_records_reads_bench_json(self, tmp_path, monkeypatch):
+        record = {"scenario": {"event_cps": 123}}
+        (tmp_path / "BENCH_demo.json").write_text(json.dumps(record))
+        (tmp_path / "BENCH_broken.json").write_text("{not json")
+        (tmp_path / "other.txt").write_text("ignored")
+        monkeypatch.setattr(run_all, "RESULTS_DIR", str(tmp_path))
+        records = run_all.collect_records()
+        assert set(records) == {"BENCH_demo.json", "BENCH_broken.json"}
+        assert records["BENCH_demo.json"] == record
+        assert "error" in records["BENCH_broken.json"]
+
+    def test_summary_renders_scenarios_and_errors(self):
+        text = run_all.render_summary(
+            {
+                "BENCH_a.json": {
+                    "sat": {"event_cps": 5, "note": "str skipped"},
+                    "flat": 7,
+                },
+                "BENCH_b.json": {"error": "boom"},
+            }
+        )
+        assert "BENCH_a.json" in text
+        assert "sat: event_cps=5" in text
+        assert "flat: 7" in text
+        assert "unreadable (boom)" in text
+
+    def test_summary_with_no_records(self):
+        assert "none found" in run_all.render_summary({})
+
+
+class TestMain:
+    def test_list_prints_plan_without_running(self, capsys):
+        code = run_all.main(["--list", "--only", "kernel"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.strip() == "bench_kernel_speed.py"
+
+    def test_collect_only_skips_pytest(self, capsys):
+        code = run_all.main(["--collect-only"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "collected perf records:" in out

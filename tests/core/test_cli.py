@@ -45,6 +45,32 @@ class TestCommands:
         assert code == 0
         assert "received 240" in capsys.readouterr().out
 
+    def test_run_profile_prints_hot_spots(self, capsys):
+        code = main(["run", "--packets", "40", "--profile"])
+        out = capsys.readouterr().out
+        assert code == 0
+        # The emulation report still prints, followed by the profile.
+        assert "emulation report" in out
+        assert "profile: top 20 by cumulative time" in out
+        assert "cumtime" in out
+        # The engine loop itself must show up as a hot spot.
+        assert "engine" in out
+
+    def test_run_profile_generic_topology(self, capsys):
+        code = main(
+            [
+                "run",
+                "--topology", "mesh:2:2",
+                "--packets", "30",
+                "--profile",
+                "--profile-top", "5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "profile: top 5 by cumulative time" in out
+        assert "cumtime" in out
+
     def test_synth_prints_table(self, capsys):
         code = main(["synth", "--receptors", "stochastic"])
         out = capsys.readouterr().out
