@@ -1,0 +1,113 @@
+"""Fault-tolerance study: when and where can the fabric lose a link?
+
+The emulation platform's reconfiguration story (software-only routing
+repair, Slide 13) makes fault studies cheap: a fault schedule is just
+another scenario axis, so the sweep runner, result cache and report
+helpers cover faulted runs with no extra machinery.  This example
+sweeps *when* a link dies (early / mid-run / late) against *where*
+(each vertical link of the paper's 2x3 mesh, both directions cut), and
+reports the latency and throughput degradation of every combination
+against the healthy baseline — the table a designer would consult
+before deciding which links deserve hardware redundancy.
+
+Run:  python examples/fault_tolerance_sweep.py [--workers N]
+"""
+
+import argparse
+
+from repro.experiments import (
+    ScenarioSpec,
+    Sweep,
+    SweepRunner,
+    render_table,
+)
+
+#: The paper mesh's vertical (column) links; (1, 4) is the hot middle
+#: pair both overlapping flows share.
+LINKS = ((0, 3), (1, 4), (2, 5))
+CYCLES = (400, 1500, 3000)
+
+
+def cut(a, b, cycle):
+    """A schedule dict killing both directions of a-b at ``cycle``."""
+    return {
+        "events": [
+            {"kind": "link_down", "cycle": cycle, "a": a, "b": b},
+            {"kind": "link_down", "cycle": cycle, "a": b, "b": a},
+        ]
+    }
+
+
+def fault_label(spec):
+    if spec.faults is None:
+        return "healthy"
+    event = spec.faults.events[0]
+    return f"{event.a}-{event.b}@{event.cycle}"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--workers", type=int, default=1)
+    args = parser.parse_args()
+
+    # Shortest-path tables as the healthy baseline, so the comparison
+    # isolates the *detour* cost of each repair (the paper's overlap
+    # route case is deliberately congested, which would mask it).
+    specs = Sweep.grid(
+        ScenarioSpec(
+            topology="paper", routing="shortest", packets=400, seed=5
+        ),
+        faults=[None]
+        + [cut(a, b, cycle) for a, b in LINKS for cycle in CYCLES],
+    )
+    results = SweepRunner(workers=args.workers).run(specs)
+
+    baseline = next(
+        r for r in results if r.spec.faults is None
+    ).metrics
+    base_latency = baseline["mean_latency"]
+    base_tput = baseline["accepted_flits_per_cycle"]
+
+    rows = []
+    for result in results:
+        m = result.metrics
+        latency = m["mean_latency"]
+        tput = m["accepted_flits_per_cycle"]
+        rows.append(
+            {
+                "fault": fault_label(result.spec),
+                "cycles": m["cycles"],
+                "latency": f"{latency:.1f}",
+                "vs healthy": (
+                    f"{latency / base_latency - 1:+.1%}"
+                    if result.spec.faults is not None
+                    else "-"
+                ),
+                "tput f/c": f"{tput:.3f}",
+                "tput delta": (
+                    f"{tput / base_tput - 1:+.1%}"
+                    if result.spec.faults is not None
+                    else "-"
+                ),
+                "dropped": m.get("fault_dropped_packets", 0),
+                "recovery": m.get("fault_max_recovery_cycles") or "-",
+            }
+        )
+    print(render_table(rows))
+
+    worst = max(
+        (r for r in rows if r["fault"] != "healthy"),
+        key=lambda r: float(r["vs healthy"].rstrip("%")),
+    )
+    print(
+        f"\nWorst case: cutting {worst['fault'].split('@')[0]} at cycle"
+        f" {worst['fault'].split('@')[1]} costs {worst['vs healthy']}"
+        f" latency versus the healthy run.  Every run completed — the"
+        f" online repair rebuilt the tables around each cut without"
+        f" tearing the platform down, dropping only the flits already"
+        f" committed to the dead wire."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -135,6 +135,87 @@ def _scenario_from(
     )
 
 
+def _parse_link_fault(value: str, flag: str):
+    """``A:B@CYCLE`` → (a, b, cycle) for --fail-link / --heal-link."""
+    try:
+        pair, at = value.split("@")
+        a, b = pair.split(":")
+        return int(a), int(b), int(at)
+    except ValueError:
+        raise ConfigError(
+            f"bad {flag} {value!r}: expected SWITCH:SWITCH@CYCLE"
+        )
+
+
+def _parse_switch_fault(value: str):
+    """``S@CYCLE`` → (switch, cycle) for --fail-switch."""
+    try:
+        s, at = value.split("@")
+        return int(s), int(at)
+    except ValueError:
+        raise ConfigError(
+            f"bad --fail-switch {value!r}: expected SWITCH@CYCLE"
+        )
+
+
+def _fault_schedule_from(args: argparse.Namespace):
+    """Build the FaultSchedule the run flags describe (None if none)."""
+    from repro.faults import (
+        FaultSchedule,
+        link_down,
+        link_up,
+        switch_down,
+    )
+
+    events = []
+    for value in args.fail_link or ():
+        a, b, cycle = _parse_link_fault(value, "--fail-link")
+        events.append(link_down(cycle, a, b))
+    for value in args.heal_link or ():
+        a, b, cycle = _parse_link_fault(value, "--heal-link")
+        events.append(link_up(cycle, a, b))
+    for value in args.fail_switch or ():
+        s, cycle = _parse_switch_fault(value)
+        events.append(switch_down(cycle, s))
+    if not events:
+        return None
+    return FaultSchedule.of(*events, repair=not args.no_repair)
+
+
+def _fault_summary(report) -> str:
+    """Terse stdout degradation summary of a faulted run."""
+    lines = [
+        "--- faults ---",
+        f"dropped: {report.dropped_flits} flit(s) /"
+        f" {report.dropped_packets} packet(s)",
+    ]
+    for event in report.events:
+        repair = ""
+        if event.repaired:
+            repair = (
+                f", rerouted in {event.repair_wall_seconds * 1e3:.2f} ms"
+            )
+        recovery = (
+            f", recovered after {event.recovery_cycles} cycle(s)"
+            if event.recovery_cycles is not None
+            else ""
+        )
+        lines.append(
+            f"cycle {event.cycle}: {event.kind} {event.detail} —"
+            f" dropped {event.dropped_flits} flit(s)"
+            f"{repair}{recovery}"
+        )
+    for window in report.windows:
+        lines.append(
+            f"window {window.label!r} [{window.start},"
+            f" {window.end}): {window.packets_received} packet(s),"
+            f" {window.throughput:.4f} packets/cycle"
+        )
+    if report.degraded:
+        lines.append(f"DEGRADED: {report.degraded_reason}")
+    return "\n".join(lines)
+
+
 def _profiled(fn, top: int):
     """Run ``fn`` under cProfile; return (result, profile table).
 
@@ -165,10 +246,20 @@ def _profiled(fn, top: int):
 
 def cmd_run(args: argparse.Namespace) -> int:
     top = args.profile_top
-    if args.topology == "paper" and args.routing in _PAPER_ROUTING:
+    try:
+        faults = _fault_schedule_from(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if (
+        args.topology == "paper"
+        and args.routing in _PAPER_ROUTING
+        and faults is None
+    ):
         # The paper platform keeps its historical path (six-step flow,
         # seed registers loaded as seed+i) so outputs stay comparable
-        # with the figures.
+        # with the figures.  Fault flags force the generic engine
+        # path, which owns the injector.
         config = _config_from(args, args.packets)
         flow = EmulationFlow()
         if args.profile:
@@ -184,17 +275,19 @@ def cmd_run(args: argparse.Namespace) -> int:
     try:
         spec = _scenario_from(args, args.packets)
         platform = build_platform(spec.to_platform_config())
+        engine = EmulationEngine(platform, faults=faults)
+        if args.profile:
+            result, table = _profiled(engine.run, top)
+        else:
+            result, table = engine.run(), None
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    engine = EmulationEngine(platform)
-    if args.profile:
-        result, table = _profiled(engine.run, top)
-        print(Monitor(platform).final_report(result))
+    print(Monitor(platform).final_report(result))
+    if result.faults is not None:
+        print(_fault_summary(result.faults))
+    if table is not None:
         print(table)
-    else:
-        result = engine.run()
-        print(Monitor(platform).final_report(result))
     return 0
 
 
@@ -297,18 +390,31 @@ def cmd_batch(args: argparse.Namespace) -> int:
         else list(DEFAULT_METRICS)
     )
     rows = rows_from_results(results)
+    # Column discovery scans every row: faulted and healthy scenarios
+    # carry different spec/metric keys (faults, fault_* counters).
+    row_fields: List[str] = []
+    for row in rows:
+        for f in row:
+            if f not in row_fields:
+                row_fields.append(f)
+    spec_keys = set()
+    for result in results:
+        spec_keys.update(result.spec.to_dict())
     spec_fields = [
         f
-        for f in rows[0]
-        if f in results[0].spec.to_dict()
-        or f.startswith("traffic_params.")
+        for f in row_fields
+        if f in spec_keys or f.startswith("traffic_params.")
     ]
     varying = [
         f
         for f in spec_fields
         if len({repr(r.get(f)) for r in rows}) > 1
     ]
-    columns = ["key"] + varying + [m for m in metrics if m in rows[0]]
+    columns = (
+        ["key"]
+        + varying
+        + [m for m in metrics if any(m in r for r in rows)]
+    )
     print(render_table(rows, columns=columns))
 
     if args.group_by:
@@ -357,6 +463,35 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2000,
         help="packet budget per generator (default: 2000)",
+    )
+    run_parser.add_argument(
+        "--fail-link",
+        action="append",
+        metavar="A:B@CYCLE",
+        help=(
+            "inject a link failure: kill the A->B and B->A links at"
+            " CYCLE (repeatable)"
+        ),
+    )
+    run_parser.add_argument(
+        "--heal-link",
+        action="append",
+        metavar="A:B@CYCLE",
+        help="bring a previously failed link pair back up at CYCLE",
+    )
+    run_parser.add_argument(
+        "--fail-switch",
+        action="append",
+        metavar="S@CYCLE",
+        help="kill switch S (all its links and nodes) at CYCLE",
+    )
+    run_parser.add_argument(
+        "--no-repair",
+        action="store_true",
+        help=(
+            "disable online routing repair: faults degrade the run"
+            " instead of rerouting around the failure"
+        ),
     )
     run_parser.add_argument(
         "--profile",

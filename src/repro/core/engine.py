@@ -12,10 +12,18 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.core.errors import EmulationError
 from repro.core.platform import EmulationPlatform
+from repro.noc.network import format_parked_report
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.report import FaultReport
+    from repro.faults.schedule import FaultSchedule
+
+#: Sentinel "never" cycle, past any emulated horizon.
+_NEVER = 1 << 62
 
 
 @dataclass
@@ -28,6 +36,9 @@ class EngineResult:
     flits still in flight therefore reports ``budget_done=True,
     drained=False, completed=False``; a run cut short by
     ``max_cycles``/``max_packets`` reports ``budget_done=False``.
+
+    ``faults`` carries the degradation record of a run driven with a
+    fault schedule (None on healthy runs).
     """
 
     cycles: int
@@ -38,6 +49,7 @@ class EngineResult:
     completed: bool  # budget_done and drained
     budget_done: bool = False  # every TG budget/trace exhausted
     drained: bool = False  # no flit queued, buffered or in flight
+    faults: Optional["FaultReport"] = None
 
     @property
     def emulated_seconds(self) -> float:
@@ -59,6 +71,22 @@ class EngineResult:
         return self.cycles / self.packets_received
 
 
+@dataclass
+class DegradedResult(EngineResult):
+    """Graceful-degradation outcome of a faulted run.
+
+    Returned (instead of raising the deadlock guard's
+    :class:`EmulationError`) when the run stagnates while a fault has
+    been applied — the structured escalation path for unrepaired or
+    unrepairable faults.  ``parked`` snapshots
+    :meth:`~repro.noc.network.Network.parked_report` at the moment the
+    watchdog tripped, naming every input whose wake event never came.
+    """
+
+    degraded_reason: str = ""
+    parked: Tuple[dict, ...] = ()
+
+
 class EmulationEngine:
     """Drives an :class:`~repro.core.platform.EmulationPlatform`.
 
@@ -68,8 +96,13 @@ class EmulationEngine:
     statistics readout.
     """
 
-    def __init__(self, platform: EmulationPlatform) -> None:
+    def __init__(
+        self,
+        platform: EmulationPlatform,
+        faults: Optional["FaultSchedule"] = None,
+    ) -> None:
         self.platform = platform
+        self.faults = faults
 
     def run(
         self,
@@ -134,8 +167,23 @@ class EmulationEngine:
         control = platform.control
         net_step = network.step
         poll_generators = platform.poll_generators
+        # Fault injection: the injector asks for the cycles it needs
+        # (event cycles, plus every cycle of a flaky window or an
+        # unresolved recovery watch); healthy runs pay one comparison
+        # per cycle.
+        injector = None
+        fault_next = _NEVER
+        if self.faults is not None and self.faults.events:
+            from repro.faults.injector import FaultInjector
+
+            injector = FaultInjector(self.faults, platform)
+            fault_next = injector.begin(start_cycle)
+        degraded_reason: Optional[str] = None
+        parked_snapshot: tuple = ()
         while control.running:
             now = network.cycle
+            if now >= fault_next:
+                fault_next = injector.tick(now)
             if now >= platform._next_gen_poll:
                 poll_generators(now)
             net_step()
@@ -172,7 +220,13 @@ class EmulationEngine:
                     gens_done = platform.generators_done
                 if gens_done and network.is_drained:
                     break
-                if skip_idle and platform.idle_fast_forward(limit_cycle):
+                ff_limit = limit_cycle
+                if fault_next < _NEVER and (
+                    ff_limit is None or fault_next < ff_limit
+                ):
+                    # Never jump the clock over a pending fault event.
+                    ff_limit = fault_next
+                if skip_idle and platform.idle_fast_forward(ff_limit):
                     # The jump is idle time, not stagnation: restart
                     # the progress clock at the landing cycle.
                     last_progress_cycle = network.cycle
@@ -190,16 +244,49 @@ class EmulationEngine:
             ):
                 # Deadlock guard: flits in flight but none delivered
                 # for a whole stagnation window.
+                parked_snapshot = tuple(network.parked_report())
+                detail = format_parked_report(list(parked_snapshot))
+                if injector is not None and injector.faulted:
+                    # Watchdog escalation: stagnating with a fault
+                    # applied is degradation, not a framework bug —
+                    # report it structurally instead of raising.
+                    degraded_reason = (
+                        f"{network.in_flight_flits} flits stuck"
+                        f" without progress for {stagnation_cycles}"
+                        f" cycles after fault injection; {detail}"
+                    )
+                    break
                 raise EmulationError(
                     f"network failed to drain:"
                     f" {network.in_flight_flits} flits stuck"
                     f" without progress for {stagnation_cycles}"
-                    f" cycles (possible routing deadlock)"
+                    f" cycles (possible routing deadlock); {detail}"
                 )
         wall = time.perf_counter() - started
         platform.control.stop()
         budget_done = gens_done or platform.generators_done
         drained = network.is_drained
+        fault_report = None
+        if injector is not None:
+            fault_report = injector.finalize(
+                network.cycle,
+                degraded=degraded_reason is not None,
+                reason=degraded_reason,
+            )
+        if degraded_reason is not None:
+            return DegradedResult(
+                cycles=platform.cycle - start_cycle,
+                packets_sent=platform.packets_sent,
+                packets_received=platform.packets_received,
+                wall_seconds=wall,
+                f_clk_hz=platform.config.f_clk_hz,
+                completed=False,
+                budget_done=budget_done,
+                drained=drained,
+                faults=fault_report,
+                degraded_reason=degraded_reason,
+                parked=parked_snapshot,
+            )
         return EngineResult(
             cycles=platform.cycle - start_cycle,
             packets_sent=platform.packets_sent,
@@ -209,4 +296,5 @@ class EmulationEngine:
             completed=budget_done and drained,
             budget_done=budget_done,
             drained=drained,
+            faults=fault_report,
         )

@@ -9,3 +9,16 @@ class EmulationError(RuntimeError):
 
 class ConfigError(EmulationError):
     """An invalid or inconsistent platform configuration."""
+
+
+class UnroutableError(EmulationError):
+    """A fault left at least one active flow with no surviving route.
+
+    Raised by online repair when avoiding the dead links partitions
+    the fabric away from a flow that is still generating traffic.
+    ``flows`` lists the orphaned ``(src_node, dst_node)`` pairs.
+    """
+
+    def __init__(self, message: str, flows=()) -> None:
+        super().__init__(message)
+        self.flows = tuple(flows)

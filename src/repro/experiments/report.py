@@ -74,6 +74,10 @@ def rows_from_results(
         row: Dict[str, Any] = {"key": result.key}
         spec = result.spec.to_dict()
         params = spec.pop("traffic_params")
+        if result.spec.faults is not None:
+            # Flat rows want a scalar cell: the schedule's content
+            # hash stands in for the full event list.
+            spec["faults"] = result.spec.faults.key
         row.update(spec)
         for name, value in sorted(params.items()):
             row[f"traffic_params.{name}"] = value

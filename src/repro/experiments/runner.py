@@ -96,9 +96,19 @@ class ScenarioResult:
 
 def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     """Execute one scenario end to end (pure function of the spec)."""
+    import itertools
+
+    import repro.noc.flit as flit_mod
+
     started = time.perf_counter()
+    # Packet ids feed the multipath routing hash and the flaky-fault
+    # drop RNG.  Rewind the global allocator so the record really is a
+    # pure function of the spec, independent of whatever this process
+    # ran before (worker pools reuse processes; serial sweeps share
+    # one).
+    flit_mod._packet_ids = itertools.count()
     platform = build_platform(spec.to_platform_config())
-    result = EmulationEngine(platform).run()
+    result = EmulationEngine(platform, faults=spec.faults).run()
     from repro.stats.summary import scenario_metrics
 
     metrics = scenario_metrics(platform, result)

@@ -41,6 +41,7 @@ from repro.core.config import (
     resolve_topology_spec,
 )
 from repro.core.errors import ConfigError
+from repro.faults.schedule import FaultSchedule
 from repro.noc.switch import SwitchingMode
 from repro.traffic.rng import derive_stream_seed
 
@@ -108,8 +109,30 @@ class ScenarioSpec:
     traffic_params: Tuple[Tuple[str, Any], ...] = field(
         default_factory=tuple
     )
+    #: Optional fault schedule applied during the run (accepts a
+    #: FaultSchedule or its dict form; None = healthy run).  A
+    #: first-class spec field, so sweeps, cache keys and aggregation
+    #: cover faulted scenarios exactly like healthy ones.
+    faults: Optional[FaultSchedule] = None
 
     def __post_init__(self) -> None:
+        if self.faults is not None and not isinstance(
+            self.faults, FaultSchedule
+        ):
+            if isinstance(self.faults, Mapping):
+                object.__setattr__(
+                    self, "faults", FaultSchedule.from_dict(self.faults)
+                )
+            else:
+                raise ConfigError(
+                    "ScenarioSpec.faults must be a FaultSchedule, its"
+                    " dict form, or None; got"
+                    f" {type(self.faults).__name__}"
+                )
+        if self.faults is not None and not self.faults.events:
+            # An empty schedule is a healthy run: normalise so the
+            # content hash (and hence the cache key) is identical.
+            object.__setattr__(self, "faults", None)
         if isinstance(self.traffic_params, Mapping):
             object.__setattr__(
                 self, "traffic_params", _frozen_params(self.traffic_params)
@@ -196,8 +219,13 @@ class ScenarioSpec:
     # Identity
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """Plain JSON-serialisable form (round-trips via from_dict)."""
-        return {
+        """Plain JSON-serialisable form (round-trips via from_dict).
+
+        The ``faults`` key is omitted for healthy runs so every
+        pre-existing spec — and every cache entry keyed on one — keeps
+        its byte-identical canonical form.
+        """
+        payload = {
             "topology": self.topology,
             "routing": self.routing,
             "switching": self.switching,
@@ -211,6 +239,9 @@ class ScenarioSpec:
             "seed": self.seed,
             "traffic_params": {k: v for k, v in self.traffic_params},
         }
+        if self.faults is not None:
+            payload["faults"] = self.faults.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":

@@ -1,0 +1,37 @@
+"""Deterministic fault injection and online repair.
+
+See :mod:`repro.faults.schedule` for the declarative event model,
+:mod:`repro.faults.injector` for live application and online routing
+repair, and :mod:`repro.faults.report` for the degradation record a
+faulted run returns.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.report import (
+    FaultEventRecord,
+    FaultReport,
+    FaultWindow,
+)
+from repro.faults.schedule import (
+    FAULT_SCHEMA,
+    FaultEvent,
+    FaultSchedule,
+    flaky,
+    link_down,
+    link_up,
+    switch_down,
+)
+
+__all__ = [
+    "FAULT_SCHEMA",
+    "FaultEvent",
+    "FaultEventRecord",
+    "FaultInjector",
+    "FaultReport",
+    "FaultSchedule",
+    "FaultWindow",
+    "flaky",
+    "link_down",
+    "link_up",
+    "switch_down",
+]

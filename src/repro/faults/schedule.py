@@ -1,0 +1,281 @@
+"""Declarative fault schedules.
+
+A :class:`FaultSchedule` is the fault-side analogue of
+:class:`~repro.experiments.spec.ScenarioSpec`: a frozen, validated,
+canonically serialisable list of timed fault events.  It carries no
+behaviour — :class:`~repro.faults.injector.FaultInjector` applies the
+events to a live platform — so schedules can live inside scenario
+specs, travel to sweep worker processes as plain dicts, and contribute
+to content-addressed cache keys.
+
+Event kinds
+-----------
+``link_down(cycle, a, b)``
+    The directed inter-switch link ``a -> b`` dies at ``cycle``:
+    in-flight flits on it are dropped, packets that lose flits are
+    aborted everywhere, and (with ``repair=True``) routing is rebuilt
+    online around the dead link.
+``link_up(cycle, a, b)``
+    A previously-downed link comes back; credits re-baseline and (with
+    repair) routing is rebuilt to use it again.
+``flaky(cycle, a, b, until, drop_p, seed)``
+    During ``[cycle, until)`` every flit arriving over ``a -> b`` is
+    dropped with probability ``drop_p``; drops are content-addressed
+    (packet id, flit sequence) through
+    :func:`~repro.traffic.rng.derive_stream_seed`, so they are
+    reproducible and identical across kernels and worker processes.
+``switch_down(cycle, switch)``
+    Every link touching ``switch`` dies at once; generators hosted on
+    it are disabled and traffic destined to its nodes is aborted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+from repro.core.errors import ConfigError
+
+#: Bump when the canonical dict layout changes incompatibly.
+FAULT_SCHEMA = 1
+
+_KINDS = ("link_down", "link_up", "flaky", "switch_down")
+
+#: Fields an event of each kind must set; everything else must be None.
+_REQUIRED = {
+    "link_down": ("a", "b"),
+    "link_up": ("a", "b"),
+    "flaky": ("a", "b", "until", "drop_p", "seed"),
+    "switch_down": ("switch",),
+}
+_OPTIONAL_FIELDS = ("a", "b", "switch", "until", "drop_p", "seed")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault event (see the module docstring for kinds)."""
+
+    kind: str
+    cycle: int
+    a: Optional[int] = None
+    b: Optional[int] = None
+    switch: Optional[int] = None
+    until: Optional[int] = None
+    drop_p: Optional[float] = None
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ConfigError(
+                f"unknown fault kind {self.kind!r};"
+                f" expected one of {_KINDS}"
+            )
+        if not isinstance(self.cycle, int) or self.cycle < 0:
+            raise ConfigError(
+                f"fault cycle must be a non-negative int,"
+                f" got {self.cycle!r}"
+            )
+        required = _REQUIRED[self.kind]
+        for name in _OPTIONAL_FIELDS:
+            value = getattr(self, name)
+            if name in required:
+                if value is None:
+                    raise ConfigError(
+                        f"{self.kind} event needs {name!r}"
+                    )
+            elif value is not None:
+                raise ConfigError(
+                    f"{self.kind} event does not take {name!r}"
+                )
+        if self.a is not None:
+            if self.a < 0 or self.b < 0 or self.a == self.b:
+                raise ConfigError(
+                    f"fault link endpoints must be distinct"
+                    f" non-negative switch ids, got"
+                    f" {self.a} -> {self.b}"
+                )
+        if self.switch is not None and self.switch < 0:
+            raise ConfigError(
+                f"fault switch id must be non-negative,"
+                f" got {self.switch}"
+            )
+        if self.until is not None and self.until <= self.cycle:
+            raise ConfigError(
+                f"flaky window must end after it starts:"
+                f" until={self.until} <= cycle={self.cycle}"
+            )
+        if self.drop_p is not None and not 0.0 <= self.drop_p <= 1.0:
+            raise ConfigError(
+                f"drop probability must be in [0, 1],"
+                f" got {self.drop_p}"
+            )
+        if self.seed is not None and (
+            not isinstance(self.seed, int) or self.seed < 0
+        ):
+            raise ConfigError(
+                f"fault seed must be a non-negative int,"
+                f" got {self.seed!r}"
+            )
+
+    def sort_key(self) -> tuple:
+        """Canonical event order: time first, then content."""
+        return (
+            self.cycle,
+            self.kind,
+            -1 if self.a is None else self.a,
+            -1 if self.b is None else self.b,
+            -1 if self.switch is None else self.switch,
+            -1 if self.until is None else self.until,
+            -1.0 if self.drop_p is None else self.drop_p,
+            -1 if self.seed is None else self.seed,
+        )
+
+    def to_dict(self) -> dict:
+        d = {"kind": self.kind, "cycle": self.cycle}
+        for name in _OPTIONAL_FIELDS:
+            value = getattr(self, name)
+            if value is not None:
+                d[name] = value
+        return d
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FaultEvent":
+        known = {"kind", "cycle", *_OPTIONAL_FIELDS}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown fault event fields: {sorted(unknown)}"
+            )
+        return cls(**dict(data))
+
+
+def link_down(cycle: int, a: int, b: int) -> FaultEvent:
+    return FaultEvent("link_down", cycle, a=a, b=b)
+
+
+def link_up(cycle: int, a: int, b: int) -> FaultEvent:
+    return FaultEvent("link_up", cycle, a=a, b=b)
+
+
+def flaky(
+    cycle: int,
+    a: int,
+    b: int,
+    until: int,
+    drop_p: float,
+    seed: int = 1,
+) -> FaultEvent:
+    return FaultEvent(
+        "flaky", cycle, a=a, b=b, until=until, drop_p=drop_p, seed=seed
+    )
+
+
+def switch_down(cycle: int, switch: int) -> FaultEvent:
+    return FaultEvent("switch_down", cycle, switch=switch)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A validated, canonically ordered set of fault events.
+
+    ``repair=True`` (the default) rebuilds routing online after every
+    topology-changing event; ``repair=False`` leaves the tables alone
+    so the run measures raw degradation — typically ending in the
+    engine's :class:`~repro.core.engine.DegradedResult` escalation.
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+    repair: bool = True
+
+    def __post_init__(self) -> None:
+        events = tuple(
+            e if isinstance(e, FaultEvent) else FaultEvent.from_dict(e)
+            for e in self.events
+        )
+        events = tuple(sorted(events, key=FaultEvent.sort_key))
+        object.__setattr__(self, "events", events)
+        if not isinstance(self.repair, bool):
+            raise ConfigError(
+                f"repair must be a bool, got {self.repair!r}"
+            )
+        # Per directed link, down and up must alternate starting down;
+        # a switch may die at most once and its links must not be
+        # faulted afterwards.
+        link_state: dict = {}
+        down_switches: dict = {}
+        for e in events:
+            if e.a is not None:
+                for s in (e.a, e.b):
+                    if s in down_switches:
+                        raise ConfigError(
+                            f"{e.kind} at cycle {e.cycle} touches"
+                            f" switch {s}, already dead since cycle"
+                            f" {down_switches[s]}"
+                        )
+            if e.kind == "link_down":
+                if link_state.get((e.a, e.b)):
+                    raise ConfigError(
+                        f"link_down {e.a}->{e.b} at cycle {e.cycle}:"
+                        f" the link is already down"
+                    )
+                link_state[(e.a, e.b)] = True
+            elif e.kind == "link_up":
+                if not link_state.get((e.a, e.b)):
+                    raise ConfigError(
+                        f"link_up {e.a}->{e.b} at cycle {e.cycle}"
+                        f" without a preceding link_down"
+                    )
+                link_state[(e.a, e.b)] = False
+            elif e.kind == "switch_down":
+                if e.switch in down_switches:
+                    raise ConfigError(
+                        f"switch_down {e.switch} at cycle {e.cycle}:"
+                        f" the switch is already down"
+                    )
+                down_switches[e.switch] = e.cycle
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def to_dict(self) -> dict:
+        return {
+            "repair": self.repair,
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FaultSchedule":
+        unknown = set(data) - {"repair", "events"}
+        if unknown:
+            raise ConfigError(
+                f"unknown fault schedule fields: {sorted(unknown)}"
+            )
+        return cls(
+            events=tuple(
+                FaultEvent.from_dict(e) if isinstance(e, Mapping) else e
+                for e in data.get("events", ())
+            ),
+            repair=data.get("repair", True),
+        )
+
+    @classmethod
+    def of(
+        cls, *events: FaultEvent, repair: bool = True
+    ) -> "FaultSchedule":
+        """Convenience constructor from loose events."""
+        return cls(events=tuple(events), repair=repair)
+
+    @property
+    def key(self) -> str:
+        """Content-addressed identity (16 hex chars), like a spec key."""
+        payload = json.dumps(
+            {"schema": FAULT_SCHEMA, "schedule": self.to_dict()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def first_cycle(self) -> Optional[int]:
+        return self.events[0].cycle if self.events else None

@@ -40,6 +40,8 @@ class Link:
         "dst",
         "rx",
         "wire_count",
+        "down",
+        "flits_dropped",
         "flits_carried",
         "stats_since",
         "_last_send_cycle",
@@ -73,6 +75,14 @@ class Link:
         self.dst: Optional[tuple] = None
         self.rx: Optional[object] = None
         self.wire_count = 0
+        # Fault state: a downed link accepts no flits.  The hot paths
+        # never consult this flag — fault application zeroes the
+        # upstream credits and repairs routing so no route reaches a
+        # dead link; ``send`` keeps a guard for standalone use.
+        # ``flits_dropped`` counts flits the injector purged from this
+        # wire, cumulative across the run (not a stats-window counter).
+        self.down = False
+        self.flits_dropped = 0
         # Statistics.
         self.flits_carried = 0
         self.stats_since = 0  # cycle the stats window opened at
@@ -83,6 +93,11 @@ class Link:
     # ------------------------------------------------------------------
     def send(self, flit: Flit, now: int) -> None:
         """Inject a flit at cycle ``now``; it arrives at ``now + delay``."""
+        if self.down:
+            raise RuntimeError(
+                f"link {self.name or id(self)} is down and cannot carry"
+                f" flits (fault injected before cycle {now})"
+            )
         if self._last_send_cycle == now:
             raise RuntimeError(
                 f"link {self.name or id(self)} accepted two flits in cycle"

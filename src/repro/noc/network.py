@@ -42,6 +42,31 @@ from repro.noc.switch import (
 from repro.noc.topology import Topology
 
 
+def format_parked_report(entries: List[dict]) -> str:
+    """Render :meth:`Network.parked_report` for an error message."""
+    if not entries:
+        return "no parked inputs"
+    parts: List[str] = []
+    for e in entries:
+        if e["kind"] == "ni":
+            parts.append(
+                f"ni{e['node']} awaits an injection credit on"
+                f" {e['output']} since cycle {e['since']}"
+                f" (pid {e['pid']})"
+            )
+            continue
+        what = {
+            "credit": f"a credit on {e['output']}",
+            "lock": f"the wormhole channel of {e['output']}",
+            "sf_partial": "the rest of a store-and-forward packet",
+        }[e["reason"]]
+        parts.append(
+            f"sw{e['switch']}.in{e['input']} awaits {what} since"
+            f" cycle {e['since']} (pid {e['pid']})"
+        )
+    return f"{len(parts)} parked: " + "; ".join(parts)
+
+
 class Network:
     """An elaborated NoC: switches + links + network interfaces.
 
@@ -100,6 +125,14 @@ class Network:
         #: Map from a directed switch pair (a, b) to the links carrying
         #: a -> b traffic, for link-load monitoring (Slide 19's 90% links).
         self.switch_links: Dict[Tuple[int, int], List[Link]] = {}
+        #: Map from a link to its upstream feeder: ``(switch, output
+        #: port object)`` for inter-switch and ejection links, ``(None,
+        #: ni)`` for injection links.  Fault injection walks this to
+        #: find the credit counter a dropped wire flit must refund.
+        self.link_upstream: Dict[Link, tuple] = {}
+        #: Map from ``(switch_id, input_port)`` to the link feeding it,
+        #: for the instant credit refund of purged buffer slots.
+        self._input_feed: Dict[Tuple[int, int], Link] = {}
         # Per-link downstream flit sink: called with (flit, now).
         self._flit_sinks: List[Callable[[Flit, int], None]] = []
         # Credit-return registrations deferred until the delivery
@@ -285,6 +318,8 @@ class Network:
             (down, in_port, link, (up._outputs[out_port], up))
         )
         link.dst = (down, in_port, down.inputs[in_port])
+        self.link_upstream[link] = (up, up._outputs[out_port])
+        self._input_feed[(b, in_port)] = link
         self._flit_sinks.append(partial(down.receive, in_port))
 
     def _add_ejection(
@@ -298,6 +333,7 @@ class Network:
         up.connect_output(out_port, link.send, credits=None, link=link)
         self.links.append(link)
         link.rx = rx
+        self.link_upstream[link] = (up, up._outputs[out_port])
         self._flit_sinks.append(partial(self._eject, rx))
 
     def _eject(self, rx: ReassemblyBuffer, flit: Flit, now: int) -> None:
@@ -316,6 +352,8 @@ class Network:
             (down, in_port, link, (None, ni))
         )
         link.dst = (down, in_port, down.inputs[in_port])
+        self.link_upstream[link] = (None, ni)
+        self._input_feed[(switch, in_port)] = link
         self._flit_sinks.append(partial(down.receive, in_port))
 
     # ------------------------------------------------------------------
@@ -665,10 +703,206 @@ class Network:
                 raise RuntimeError(
                     f"network failed to drain within {max_cycles} cycles"
                     f" ({self.in_flight_flits} flits in flight —"
-                    f" possible deadlock)"
+                    f" possible deadlock);"
+                    f" {format_parked_report(self.parked_report())}"
                 )
             self.step()
         return self.cycle - start
+
+    # ------------------------------------------------------------------
+    # Fault support
+    # ------------------------------------------------------------------
+    def abort_packets(self, pids, now: int):
+        """Remove every trace of the packets in ``pids`` from the fabric.
+
+        Shared abort path of the fault injector, called between cycles
+        (before the credit phase of cycle ``now``) by whichever kernel
+        drives the fabric — the same code runs under :meth:`step` and
+        :meth:`step_reference`, which is what keeps the two
+        bit-identical under faults.  The abort models a reconfiguration
+        master flushing state out of the fabric, so freed buffer slots
+        refund their upstream credit instantly (the cycle-accurate
+        credit wire only carries credits of normally-popped flits);
+        flits dropped from a wire refund theirs too unless the carrying
+        or feeding link is itself down, in which case ``link_up``
+        re-baselines the credit counter wholesale.
+
+        Returns ``(dropped_flits, per_link_drops, affected_pids)``:
+        flits removed from queues/buffers/wires, wire drops keyed by
+        link name, and the pids that actually lost state.
+        """
+        dropped = 0
+        per_link: Dict[str, int] = {}
+        affected = set()
+
+        # 1. Release wormhole channels held by aborted packets: their
+        # tails can no longer arrive, so waiters would starve forever.
+        for sw in self.switches:
+            route_outs = sw._input_out
+            for out in sw._outputs:
+                pid = out.lock_pid
+                if pid is None or pid not in pids:
+                    continue
+                affected.add(pid)
+                holder = out.lock
+                out.lock = None
+                out.lock_pid = None
+                if holder is not None:
+                    sw._input_route[holder] = None
+                    route_outs[holder] = None
+                lw = out.lock_waiters
+                if lw:
+                    parked = sw._in_parked
+                    for j in lw:
+                        if parked[j]:
+                            sw._wake_input(j, now - 1)
+                    del lw[:]
+
+        # 2. Purge switch input buffers, waking parked inputs (their
+        # awaited event may never fire now) and refunding the freed
+        # slots upstream.  Purges are not pops: ``total_pops`` and the
+        # credit wire stay untouched.
+        for sw in self.switches:
+            inputs = sw.inputs
+            for i in range(len(inputs)):
+                buf = inputs[i]
+                fifo = buf._fifo
+                if not fifo:
+                    continue
+                keep = [f for f in fifo if f.packet.pid not in pids]
+                n = len(fifo) - len(keep)
+                if not n:
+                    continue
+                for f in fifo:
+                    if f.packet.pid in pids:
+                        affected.add(f.packet.pid)
+                head_purged = fifo[0].packet.pid in pids
+                fifo.clear()
+                fifo.extend(keep)
+                counts = buf._pid_counts
+                if counts is not None:
+                    for pid in [p for p in counts if p in pids]:
+                        del counts[pid]
+                sw._buffered -= n
+                self._in_flight_flits -= n
+                dropped += n
+                if sw._in_parked[i]:
+                    sw._wake_input(i, now - 1)
+                if head_purged:
+                    sw._input_route[i] = None
+                    sw._input_out[i] = None
+                feed = self._input_feed.get((sw.switch_id, i))
+                if feed is not None and not feed.down:
+                    up, target = self.link_upstream[feed]
+                    if up is not None:
+                        target.credits += n
+                        if target.credit_waiters:
+                            up._credit_wake_port(target, now)
+                    else:
+                        target._credits += n
+                        if target._parked:
+                            target._credit_unpark()
+
+        # 3. Drop in-flight wire flits from every wheel slot.
+        for slot in self._flit_wheel:
+            if not slot:
+                continue
+            keep = []
+            for entry in slot:
+                link, flit = entry
+                pid = flit.packet.pid
+                if pid not in pids:
+                    keep.append(entry)
+                    continue
+                affected.add(pid)
+                link.wire_count -= 1
+                link.flits_dropped += 1
+                name = link.name or repr(link)
+                per_link[name] = per_link.get(name, 0) + 1
+                self._in_flight_flits -= 1
+                dropped += 1
+                if not link.down:
+                    up, target = self.link_upstream[link]
+                    if up is not None:
+                        if not target.infinite_credits:
+                            target.credits += 1
+                            if target.credit_waiters:
+                                up._credit_wake_port(target, now)
+                    else:
+                        target._credits += 1
+                        if target._parked:
+                            target._credit_unpark()
+            if len(keep) != len(slot):
+                slot[:] = keep
+
+        # 4. NI source queues.
+        for ni in self.nis:
+            for f in ni._flits:
+                if f.packet.pid in pids:
+                    affected.add(f.packet.pid)
+            n = ni.purge_pids(pids, now)
+            if n:
+                self._in_flight_flits -= n
+                dropped += n
+
+        # 5. Partially reassembled packets (their already-ejected flits
+        # were retired from the in-flight count on ejection).
+        for rx in self.rx:
+            affected.update(rx.abort_packets(pids))
+
+        return dropped, per_link, affected
+
+    def parked_report(self) -> List[dict]:
+        """Snapshot of every parked input/NI and its awaited event.
+
+        Diagnostic companion of the parking machinery: stagnation and
+        drain-timeout errors embed this so a never-woken parked input
+        is attributable instead of a silent hang.  ``since`` is the
+        cycle the parked stretch last settled through.
+        """
+        entries: List[dict] = []
+        for sw in self.switches:
+            parked = sw._in_parked
+            for i, is_parked in enumerate(parked):
+                if not is_parked:
+                    continue
+                if sw._in_park_head[i] is None:
+                    reason = "sf_partial"
+                elif sw._in_park_credit[i]:
+                    reason = "credit"
+                else:
+                    reason = "lock"
+                out = sw._input_out[i]
+                link = out.link if out is not None else None
+                fifo = sw.inputs[i]._fifo
+                entries.append(
+                    {
+                        "kind": "switch_input",
+                        "switch": sw.switch_id,
+                        "input": i,
+                        "reason": reason,
+                        "output": getattr(link, "name", None),
+                        "since": sw._in_park_cycle[i],
+                        "pid": fifo[0].packet.pid if fifo else None,
+                    }
+                )
+        for ni in self.nis:
+            if ni._parked:
+                entries.append(
+                    {
+                        "kind": "ni",
+                        "node": ni.node,
+                        "reason": "credit",
+                        "output": getattr(ni._link, "name", None),
+                        "since": ni._park_cycle,
+                        "pid": (
+                            ni._flits[0].packet.pid
+                            if ni._flits
+                            else None
+                        ),
+                    }
+                )
+        return entries
 
     # ------------------------------------------------------------------
     # Monitoring

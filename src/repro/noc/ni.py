@@ -228,6 +228,39 @@ class NetworkInterface:
         self._drain_level = level
         self._on_drain = callback
 
+    def purge_pids(self, pids, now: int) -> int:
+        """Drop every queued flit of the packets in ``pids`` (fault
+        abort); return the number of flits removed.
+
+        A parked stretch settles first so the stall accounting of the
+        old head closes before the head changes; the purge then fires
+        the generator's drain watch if it crosses the backpressure
+        level, and leaves the NI unparked — if it is still
+        credit-starved, the next inject attempt re-parks it with
+        identical per-cycle accounting.
+        """
+        flits = self._flits
+        if not flits:
+            return 0
+        keep = [f for f in flits if f.packet.pid not in pids]
+        purged = len(flits) - len(keep)
+        if not purged:
+            return 0
+        if self._parked:
+            self._settle(now - 1)
+            self._parked = False
+        flits.clear()
+        flits.extend(keep)
+        level = self._drain_level
+        if level is not None and len(flits) < level:
+            callback = self._on_drain
+            self._drain_level = None
+            self._on_drain = None
+            callback(now)
+        if keep and self._wake is not None:
+            self._wake()
+        return purged
+
     def reset_stats(self) -> None:
         if self._parked and self._clock is not None:
             # Per-flit stall counters survive a statistics reset:
@@ -261,6 +294,7 @@ class ReassemblyBuffer:
         "received_flits",
         "received_packets",
         "misrouted_flits",
+        "aborted_packets",
     )
 
     def __init__(
@@ -285,6 +319,9 @@ class ReassemblyBuffer:
         self.received_flits = 0
         self.received_packets = 0
         self.misrouted_flits = 0
+        # Partial packets discarded by fault injection, cumulative
+        # across the run (not reset with the stats window).
+        self.aborted_packets = 0
 
     def receive(self, flit: Flit, now: int) -> Optional[Packet]:
         """Accept one flit; return the packet if this flit completed it."""
@@ -315,6 +352,23 @@ class ReassemblyBuffer:
         if self.on_packet is not None:
             self.on_packet(packet, now, flits)
         return packet
+
+    def abort_packets(self, pids) -> List[int]:
+        """Discard the partial reassembly state of the packets in
+        ``pids`` (fault abort); return the pids actually discarded.
+
+        A wormhole packet whose tail died on a link would otherwise
+        hold its partial flit list forever and distort the in-flight
+        accounting.
+        """
+        dead = [pid for pid in self._partial if pid in pids]
+        for pid in dead:
+            del self._partial[pid]
+            if pid == self._last_pid:
+                self._last_pid = None
+                self._last_flits = None
+        self.aborted_packets += len(dead)
+        return dead
 
     @property
     def partial_packets(self) -> int:

@@ -348,6 +348,7 @@ def build_updown_tables(
     topo: Topology,
     destinations: Optional[Sequence[int]] = None,
     root: int = 0,
+    avoid_links: Optional[AbstractSet[Tuple[int, int]]] = None,
 ) -> TableRouting:
     """Deadlock-free up*/down* tables for any connected topology.
 
@@ -371,6 +372,14 @@ def build_updown_tables(
     graph-shortest — that is the price of deadlock freedom on ring-like
     fabrics; on meshes and trees the root-anchored ranking keeps most
     routes minimal.
+
+    ``avoid_links`` routes around failed directed links.  Ranking,
+    descent, and climbing all skip avoided edges, so the discipline
+    (and hence deadlock freedom) holds on the surviving fabric.  When
+    avoidance disconnects the graph, switches outside the root's
+    component — and destinations hosted there — simply get no table
+    entries (the router raises on use), mirroring the degraded
+    behaviour of :func:`build_shortest_path_tables`.
     """
     if not 0 <= root < topo.n_switches:
         raise RoutingError(
@@ -379,6 +388,7 @@ def build_updown_tables(
         )
     if destinations is None:
         destinations = range(topo.n_nodes)
+    avoid = frozenset(avoid_links or ())
     n = topo.n_switches
     # Rank switches by (BFS level from the root, id); "up" edges point
     # toward strictly lower rank.
@@ -387,20 +397,26 @@ def build_updown_tables(
     while frontier:
         s = frontier.popleft()
         for ep in topo.switch_outputs[s]:
-            if ep.kind == "switch" and ep.target not in level:
+            if (
+                ep.kind == "switch"
+                and ep.target not in level
+                and (s, ep.target) not in avoid
+            ):
                 level[ep.target] = level[s] + 1
                 frontier.append(ep.target)
-    if len(level) < n:
+    if len(level) < n and not avoid:
         raise RoutingError(
             f"topology is not connected from switch {root}:"
             f" {n - len(level)} switches unreachable"
         )
-    rank = {s: (level[s], s) for s in range(n)}
-    by_rank = sorted(range(n), key=lambda s: rank[s])
+    rank = {s: (level[s], s) for s in level}
+    by_rank = sorted(level, key=lambda s: rank[s])
 
     tables: Dict[int, Dict[int, int]] = {s: {} for s in range(n)}
     for dst in destinations:
         dst_switch = topo.switch_of_node(dst)
+        if dst_switch not in rank:
+            continue  # severed from the root's component
         # Down-only hop distance to dst_switch (reverse BFS over down
         # edges), plus the port of a deterministic shortest down step.
         down_dist = [-1] * n
@@ -411,8 +427,10 @@ def build_updown_tables(
             for ep in topo.switch_inputs[s]:
                 if (
                     ep.kind == "switch"
+                    and ep.source in rank
                     and rank[ep.source] < rank[s]
                     and down_dist[ep.source] < 0
+                    and (ep.source, s) not in avoid
                 ):
                     down_dist[ep.source] = down_dist[s] + 1
                     frontier.append(ep.source)
@@ -426,12 +444,19 @@ def build_updown_tables(
                 continue
             best = -1
             for ep in topo.switch_outputs[s]:
-                if ep.kind != "switch" or rank[ep.target] >= rank[s]:
+                if (
+                    ep.kind != "switch"
+                    or ep.target not in rank
+                    or rank[ep.target] >= rank[s]
+                    or (s, ep.target) in avoid
+                ):
                     continue
                 c = cost[ep.target]
                 if c >= 0 and (best < 0 or c + 1 < best):
                     best = c + 1
             if best < 0:
+                if avoid:
+                    continue  # unreachable on the faulted fabric
                 raise RoutingError(
                     f"switch {s} has no up link toward the root and"
                     f" cannot reach node {dst} downward; up*/down*"
@@ -442,12 +467,16 @@ def build_updown_tables(
             if s == dst_switch:
                 tables[s][dst] = topo.output_port_to_node(s, dst)
                 continue
+            if s not in rank or cost[s] < 0:
+                continue  # severed or unreachable under avoidance
             best_port = None
             best_cost = None
             for port, ep in enumerate(topo.switch_outputs[s]):
                 if ep.kind != "switch":
                     continue
                 t = ep.target
+                if t not in rank or (s, t) in avoid:
+                    continue
                 if down_dist[s] >= 0:
                     # Committed to descending: shortest down step only.
                     ok = (
@@ -462,6 +491,8 @@ def build_updown_tables(
                     best_port = port
                     best_cost = c
             if best_port is None:
+                if avoid:
+                    continue
                 raise RoutingError(
                     f"inconsistent up*/down* state at switch {s}"
                     f" toward node {dst}"

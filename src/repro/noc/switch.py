@@ -87,6 +87,11 @@ class _OutputPort:
     credits: int  # remaining downstream buffer slots (None -> infinite)
     infinite_credits: bool = False
     lock: Optional[int] = None  # input index holding the wormhole channel
+    #: Packet id of the wormhole holding the lock (fault accounting:
+    #: lets the injector identify the packet whose tail can no longer
+    #: arrive when a link dies mid-wormhole).  Maintained in lockstep
+    #: with ``lock`` at head-grant and tail-release.
+    lock_pid: Optional[int] = None
     flits_sent: int = 0
     #: The Link behind ``send`` when the sink is a plain link, letting
     #: the traverse fast path inline the send; None for custom sinks.
@@ -632,6 +637,7 @@ class Switch:
                 # Wormhole channel state.
                 if flit.is_tail:
                     out.lock = None
+                    out.lock_pid = None
                     self._input_route[winner] = None
                     route_outs[winner] = None
                     lw = out.lock_waiters
@@ -647,6 +653,7 @@ class Switch:
                         del lw[:]
                 elif flit.is_head:
                     out.lock = winner
+                    out.lock_pid = flit.packet.pid
                 # Losers of this arbitration stalled (they may win the
                 # very next cycle, so they stay on the scan list).
                 n_reqs = len(reqs)
@@ -1045,6 +1052,7 @@ def traverse_all(
                 moved += 1
                 if flit.is_tail:
                     out.lock = None
+                    out.lock_pid = None
                     sw._input_route[winner] = None
                     route_outs[winner] = None
                     lw = out.lock_waiters
@@ -1056,6 +1064,7 @@ def traverse_all(
                         del lw[:]
                 elif flit.is_head:
                     out.lock = winner
+                    out.lock_pid = flit.packet.pid
                 n_reqs = len(reqs)
                 if n_reqs > 1:
                     for loser in reqs:

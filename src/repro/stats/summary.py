@@ -133,4 +133,21 @@ def scenario_metrics(
         "mean_stall_per_packet": stalls.mean_stall_per_packet,
         "congested_packet_fraction": stalls.congested_fraction,
     }
+    faults = getattr(result, "faults", None)
+    if faults is not None:
+        # Degradation record (only the deterministic counters: repair
+        # wall-clock latency stays out so cached/parallel/serial runs
+        # keep bit-identical records).
+        recoveries = [
+            e.recovery_cycles
+            for e in faults.events
+            if e.recovery_cycles is not None
+        ]
+        metrics["fault_dropped_flits"] = faults.dropped_flits
+        metrics["fault_dropped_packets"] = faults.dropped_packets
+        metrics["fault_reroutes"] = len(faults.reroutes)
+        metrics["fault_max_recovery_cycles"] = (
+            max(recoveries) if recoveries else None
+        )
+        metrics["fault_degraded"] = bool(faults.degraded)
     return metrics
