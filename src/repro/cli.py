@@ -5,11 +5,13 @@ host-side tooling for the Python reproduction::
 
     python -m repro run    --traffic burst --packets 2000
     python -m repro run    --topology mesh:4:4 --traffic poisson
-    python -m repro run    --profile --packets 500
+    python -m repro run    --profile --profile-out run.pstats
+    python -m repro run    --progress --windows 1000 --windows-out w.json
+    python -m repro run    --trace flits.jsonl --trace-perfetto t.json
     python -m repro synth  --receptors stochastic
     python -m repro speed  --packets 500
     python -m repro sweep  --metric latency
-    python -m repro batch  sweep.json --workers 4 --group-by load
+    python -m repro batch  sweep.json --workers 4 --progress
 
 ``run`` executes one emulation through the full six-step flow and
 prints the monitor's final report; ``synth`` prints the Table 1-style
@@ -19,6 +21,20 @@ packets-per-burst series of the trace-driven figures; ``batch``
 expands a JSON sweep document into scenarios and runs them through the
 experiment runner (parallel workers, on-disk result cache, aggregated
 report — see ``repro.experiments``).
+
+Telemetry flags of ``run`` (see ``repro.telemetry``):
+
+* ``--windows N`` collects the boundary-differenced window series
+  (window length N cycles) and prints it in the report;
+  ``--windows-out FILE`` additionally writes it as JSON.
+* ``--trace FILE`` streams every flit event (inject/hop/eject plus
+  fault aborts) as JSON lines; ``--trace-perfetto FILE`` exports the
+  same events as a Chrome/Perfetto ``trace_event`` file.
+* ``--progress`` prints live run progress (cycles/sec, packets in
+  flight, budget fraction) to stderr; on ``batch`` it prints the
+  per-scenario retirement lines with wall-clock seconds.
+* ``--profile-out FILE`` dumps the raw cProfile stats of a profiled
+  run for ``pstats``/snakeviz (implies ``--profile``).
 """
 
 from __future__ import annotations
@@ -216,12 +232,14 @@ def _fault_summary(report) -> str:
     return "\n".join(lines)
 
 
-def _profiled(fn, top: int):
+def _profiled(fn, top: int, out: Optional[str] = None):
     """Run ``fn`` under cProfile; return (result, profile table).
 
     The ``--profile`` flag of ``repro run``: future performance PRs
     start from measured hot spots instead of guesses.  The caller
-    prints the table after the run's own report.
+    prints the table after the run's own report.  ``out`` dumps the
+    raw stats (``--profile-out``) for pstats or snakeviz, keeping the
+    full call graph instead of just the printed top rows.
     """
     import cProfile
     import io
@@ -233,6 +251,8 @@ def _profiled(fn, top: int):
         result = fn()
     finally:
         profile.disable()
+    if out is not None:
+        profile.dump_stats(out)
     buffer = io.StringIO()
     stats = pstats.Stats(profile, stream=buffer)
     stats.sort_stats("cumulative")
@@ -246,24 +266,37 @@ def _profiled(fn, top: int):
 
 def cmd_run(args: argparse.Namespace) -> int:
     top = args.profile_top
+    do_profile = args.profile or args.profile_out is not None
     try:
         faults = _fault_schedule_from(args)
+        if args.windows_out and args.windows is None:
+            raise ConfigError("--windows-out needs --windows N")
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    telemetry_on = bool(
+        args.progress
+        or args.windows
+        or args.trace
+        or args.trace_perfetto
+    )
     if (
         args.topology == "paper"
         and args.routing in _PAPER_ROUTING
         and faults is None
+        and not telemetry_on
     ):
         # The paper platform keeps its historical path (six-step flow,
         # seed registers loaded as seed+i) so outputs stay comparable
-        # with the figures.  Fault flags force the generic engine
-        # path, which owns the injector.
+        # with the figures.  Fault and telemetry flags force the
+        # generic engine path, which owns the injector and the
+        # telemetry hooks.
         config = _config_from(args, args.packets)
         flow = EmulationFlow()
-        if args.profile:
-            report, table = _profiled(lambda: flow.run(config), top)
+        if do_profile:
+            report, table = _profiled(
+                lambda: flow.run(config), top, args.profile_out
+            )
             print(report.report_text)
             print(table)
         else:
@@ -275,17 +308,70 @@ def cmd_run(args: argparse.Namespace) -> int:
     try:
         spec = _scenario_from(args, args.packets)
         platform = build_platform(spec.to_platform_config())
-        engine = EmulationEngine(platform, faults=faults)
-        if args.profile:
-            result, table = _profiled(engine.run, top)
-        else:
-            result, table = engine.run(), None
+        telemetry = None
+        if args.windows is not None:
+            from repro.telemetry import WindowedMetrics
+
+            telemetry = WindowedMetrics(platform, args.windows)
+        engine = EmulationEngine(
+            platform, faults=faults, telemetry=telemetry
+        )
+        progress = None
+        if args.progress:
+            from repro.telemetry import format_progress
+
+            def progress(sample) -> None:
+                print(format_progress(sample), file=sys.stderr)
+
+        tracer = None
+        trace_stream = None
+        if args.trace or args.trace_perfetto:
+            from repro.telemetry import FlitTracer
+
+            if args.trace:
+                trace_stream = open(args.trace, "w", encoding="utf-8")
+            # The in-memory event list only matters for the Perfetto
+            # export; a pure JSONL trace streams straight to disk.
+            tracer = FlitTracer(
+                stream=trace_stream, keep=bool(args.trace_perfetto)
+            )
+            platform.network.attach_tracer(tracer)
+        try:
+            if do_profile:
+                result, table = _profiled(
+                    lambda: engine.run(progress=progress),
+                    top,
+                    args.profile_out,
+                )
+            else:
+                result, table = engine.run(progress=progress), None
+        finally:
+            if tracer is not None:
+                platform.network.detach_tracer()
+                tracer.close()
+                if trace_stream is not None:
+                    trace_stream.close()
+        if args.trace_perfetto:
+            tracer.write_perfetto(args.trace_perfetto)
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(Monitor(platform).final_report(result))
     if result.faults is not None:
         print(_fault_summary(result.faults))
+    if args.windows_out:
+        import json
+
+        with open(args.windows_out, "w", encoding="utf-8") as fh:
+            json.dump(
+                [w.to_dict() for w in result.windows or ()], fh
+            )
+            fh.write("\n")
+        print(f"wrote {args.windows_out}", file=sys.stderr)
+    if args.trace:
+        print(f"wrote {args.trace}", file=sys.stderr)
+    if args.trace_perfetto:
+        print(f"wrote {args.trace_perfetto}", file=sys.stderr)
     if table is not None:
         print(table)
     return 0
@@ -368,14 +454,15 @@ def cmd_batch(args: argparse.Namespace) -> int:
     def progress(done: int, total: int, result) -> None:
         tag = "cached" if result.cached else "ran"
         print(
-            f"[{done}/{total}] {tag:>6}  {result.spec.label()}",
+            f"[{done}/{total}] {tag:>6}  {result.spec.label()}"
+            f"  ({result.wall_seconds:.2f}s)",
             file=sys.stderr,
         )
 
     runner = SweepRunner(
         workers=args.workers,
         cache=cache,
-        progress=progress if args.verbose else None,
+        progress=progress if args.verbose or args.progress else None,
     )
     try:
         results = runner.run(specs)
@@ -508,6 +595,57 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="rows of the profile table (default: 20)",
     )
+    run_parser.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "dump the raw cProfile stats to FILE for pstats/snakeviz"
+            " (implies --profile)"
+        ),
+    )
+    run_parser.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "print live run progress to stderr (cycles/sec, packets"
+            " in flight, budget fraction)"
+        ),
+    )
+    run_parser.add_argument(
+        "--windows",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "collect the windowed telemetry series with N-cycle"
+            " windows and print it in the report"
+        ),
+    )
+    run_parser.add_argument(
+        "--windows-out",
+        default=None,
+        metavar="FILE",
+        help="write the window series as JSON (needs --windows)",
+    )
+    run_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help=(
+            "stream per-flit events (inject/hop/eject/abort) to FILE"
+            " as JSON lines"
+        ),
+    )
+    run_parser.add_argument(
+        "--trace-perfetto",
+        default=None,
+        metavar="FILE",
+        help=(
+            "export the flit trace as a Chrome/Perfetto trace_event"
+            " JSON file (open in ui.perfetto.dev)"
+        ),
+    )
     run_parser.set_defaults(func=cmd_run)
 
     synth_parser = sub.add_parser(
@@ -600,6 +738,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose",
         action="store_true",
         help="print per-scenario progress to stderr",
+    )
+    batch_parser.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "print per-scenario retirement lines with wall-clock"
+            " seconds to stderr (same stream as --verbose)"
+        ),
     )
     batch_parser.set_defaults(func=cmd_batch)
 

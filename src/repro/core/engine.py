@@ -38,7 +38,11 @@ class EngineResult:
     ``max_cycles``/``max_packets`` reports ``budget_done=False``.
 
     ``faults`` carries the degradation record of a run driven with a
-    fault schedule (None on healthy runs).
+    fault schedule (None on healthy runs).  ``windows`` carries the
+    windowed-telemetry time series of a run driven with a
+    :class:`~repro.telemetry.windows.WindowedMetrics` collector (None
+    otherwise); the records are deterministic — wall-clock lives only
+    in ``wall_seconds``.
     """
 
     cycles: int
@@ -50,6 +54,7 @@ class EngineResult:
     budget_done: bool = False  # every TG budget/trace exhausted
     drained: bool = False  # no flit queued, buffered or in flight
     faults: Optional["FaultReport"] = None
+    windows: Optional[Tuple] = None  # WindowRecord time series
 
     @property
     def emulated_seconds(self) -> float:
@@ -100,9 +105,14 @@ class EmulationEngine:
         self,
         platform: EmulationPlatform,
         faults: Optional["FaultSchedule"] = None,
+        telemetry=None,
     ) -> None:
         self.platform = platform
         self.faults = faults
+        #: Optional :class:`~repro.telemetry.windows.WindowedMetrics`;
+        #: the run drives it at window boundaries and the result
+        #: carries its records as ``EngineResult.windows``.
+        self.telemetry = telemetry
 
     def run(
         self,
@@ -112,6 +122,8 @@ class EmulationEngine:
         check_interval: int = 1,
         fast_forward: bool = True,
         stagnation_cycles: int = 100_000,
+        progress=None,
+        progress_interval: float = 0.5,
     ) -> EngineResult:
         """Run until done (budget exhausted + drained) or a limit hits.
 
@@ -133,6 +145,17 @@ class EmulationEngine:
         emulated time with bit-identical results.  ``stagnation_cycles``
         bounds how long the drain phase may go without a single packet
         delivery before the deadlock guard trips.
+
+        ``progress`` is an optional callback fired with live
+        :class:`~repro.telemetry.progress.ProgressSample` readings
+        roughly every ``progress_interval`` wall-clock seconds (plus a
+        final sample when the run stops); it is observational only and
+        never perturbs the emulated schedule.  With a telemetry
+        collector attached, window boundaries are checked with the
+        same one-comparison-per-cycle discipline as fault events, and
+        an idle fast-forward lands on a window boundary so the skipped
+        windows emit as zero-delta records (parking and fast-forward
+        stay fully engaged — nothing is sampled per cycle).
         """
         if max_cycles is None and max_packets is None:
             budget_bounded = all(
@@ -178,12 +201,41 @@ class EmulationEngine:
 
             injector = FaultInjector(self.faults, platform)
             fault_next = injector.begin(start_cycle)
+        # Windowed telemetry and live progress use the same shape as
+        # fault injection: a "next interesting cycle" register checked
+        # once per cycle, so disabled telemetry costs one comparison
+        # and enabled telemetry costs nothing between boundaries.
+        telemetry = self.telemetry
+        tel_next = _NEVER
+        if telemetry is not None:
+            tel_next = telemetry.begin(start_cycle)
+        meter = None
+        prog_next = _NEVER
+        if progress is not None:
+            from repro.telemetry.progress import ProgressMeter
+
+            meter = ProgressMeter(
+                platform,
+                progress,
+                interval_seconds=progress_interval,
+                limit_cycle=limit_cycle,
+            )
+            prog_next = meter.start(start_cycle)
         degraded_reason: Optional[str] = None
         parked_snapshot: tuple = ()
         while control.running:
             now = network.cycle
+            if now >= tel_next:
+                # Before the fault tick: a fault applied at cycle
+                # ``now`` belongs to the window *starting* here, not
+                # the one closing here.
+                tel_next = telemetry.advance(now)
             if now >= fault_next:
                 fault_next = injector.tick(now)
+            if now >= prog_next:
+                prog_next = meter.tick(
+                    now, injector is not None and injector.faulted
+                )
             if now >= platform._next_gen_poll:
                 poll_generators(now)
             net_step()
@@ -226,6 +278,17 @@ class EmulationEngine:
                 ):
                     # Never jump the clock over a pending fault event.
                     ff_limit = fault_next
+                if tel_next < _NEVER:
+                    # Telemetry on: land the jump on a window boundary
+                    # so the advance() at the landing cycle emits the
+                    # fully-skipped windows as zero-delta records; the
+                    # residual sub-window idle stretch is jumped by
+                    # the next fast-forward, which crosses no boundary
+                    # and goes un-rounded.
+                    target = platform._next_gen_poll
+                    if ff_limit is not None and ff_limit < target:
+                        target = ff_limit
+                    ff_limit = telemetry.ff_landing(target)
                 if skip_idle and platform.idle_fast_forward(ff_limit):
                     # The jump is idle time, not stagnation: restart
                     # the progress clock at the landing cycle.
@@ -273,6 +336,15 @@ class EmulationEngine:
                 degraded=degraded_reason is not None,
                 reason=degraded_reason,
             )
+        windows = None
+        if telemetry is not None:
+            telemetry.finish(network.cycle)
+            windows = tuple(telemetry.records)
+        if meter is not None:
+            meter.finish(
+                network.cycle,
+                injector is not None and injector.faulted,
+            )
         if degraded_reason is not None:
             return DegradedResult(
                 cycles=platform.cycle - start_cycle,
@@ -284,6 +356,7 @@ class EmulationEngine:
                 budget_done=budget_done,
                 drained=drained,
                 faults=fault_report,
+                windows=windows,
                 degraded_reason=degraded_reason,
                 parked=parked_snapshot,
             )
@@ -297,4 +370,5 @@ class EmulationEngine:
             budget_done=budget_done,
             drained=drained,
             faults=fault_report,
+            windows=windows,
         )

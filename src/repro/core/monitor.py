@@ -90,6 +90,58 @@ class Monitor:
 
         return estimate_power(self.platform).render()
 
+    def faults_section(self, result: EngineResult) -> str:
+        """Render ``EngineResult.faults`` (degradation record).
+
+        Per applied event: what it dropped, whether routing was
+        repaired and how long the fabric took to deliver again; then
+        the throughput of the before/during/after windows the events
+        cut the run into.
+        """
+        report = result.faults
+        lines = [
+            "faults:",
+            f"  dropped         : {report.dropped_flits} flits /"
+            f" {report.dropped_packets} packets",
+        ]
+        if report.degraded:
+            lines.append(
+                f"  DEGRADED        : {report.degraded_reason}"
+            )
+        for event in report.events:
+            recovery = (
+                f"recovered after {event.recovery_cycles} cycles"
+                if event.recovery_cycles is not None
+                else "no delivery after the event"
+            )
+            lines.append(
+                f"  @{event.cycle:<6} {event.kind} {event.detail}:"
+                f" dropped {event.dropped_flits} flits"
+                f" ({event.dropped_packets} packets),"
+                f" {'rerouted, ' if event.repaired else ''}{recovery}"
+            )
+        for name, drops in sorted(report.per_link_drops.items()):
+            lines.append(f"    {name:<24} lost {drops} flits")
+        if report.windows:
+            lines.append("  throughput windows:")
+            for window in report.windows:
+                lines.append(
+                    f"    {window.label:<24}"
+                    f" [{window.start}, {window.end})"
+                    f" {window.packets_received} packets"
+                    f" ({window.throughput:.4f}/cycle)"
+                )
+        return "\n".join(lines)
+
+    def windows_section(self, result: EngineResult) -> str:
+        """Render the windowed-telemetry series of the run."""
+        from repro.telemetry.windows import format_window_table
+
+        table = format_window_table(list(result.windows))
+        lines = ["telemetry windows:"]
+        lines.extend("  " + line for line in table.splitlines())
+        return "\n".join(lines)
+
     def timing_section(self, result: EngineResult) -> str:
         return "\n".join(
             [
@@ -121,5 +173,9 @@ class Monitor:
         if platform.network.sample_buffers:
             sections.append(self.occupancy_section())
         if result is not None:
+            if result.faults is not None:
+                sections.append(self.faults_section(result))
+            if getattr(result, "windows", None):
+                sections.append(self.windows_section(result))
             sections.append(self.timing_section(result))
         return "\n\n".join(sections)

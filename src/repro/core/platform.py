@@ -212,7 +212,13 @@ class EmulationPlatform:
         :meth:`~repro.traffic.base.TrafficModel.next_emission_cycle`)
         and the network state cannot change.  Disabled under
         ``sample_buffers``, whose per-cycle occupancy sampling must
-        observe every idle cycle.
+        observe every idle cycle — that is the documented cost of
+        per-cycle sampling, and the reason the windowed telemetry
+        (:class:`repro.telemetry.windows.WindowedMetrics`) reads
+        boundary snapshots instead: it keeps this fast-forward (and
+        input parking) fully engaged, with the engine merely landing
+        each jump on a window boundary so skipped windows emit as
+        zero-delta records.
         """
         network = self.network
         if network.sample_buffers or network._in_flight_flits:

@@ -108,7 +108,14 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     # one).
     flit_mod._packet_ids = itertools.count()
     platform = build_platform(spec.to_platform_config())
-    result = EmulationEngine(platform, faults=spec.faults).run()
+    telemetry = None
+    if spec.telemetry_windows is not None:
+        from repro.telemetry.windows import WindowedMetrics
+
+        telemetry = WindowedMetrics(platform, spec.telemetry_windows)
+    result = EmulationEngine(
+        platform, faults=spec.faults, telemetry=telemetry
+    ).run()
     from repro.stats.summary import scenario_metrics
 
     metrics = scenario_metrics(platform, result)

@@ -114,8 +114,24 @@ class ScenarioSpec:
     #: first-class spec field, so sweeps, cache keys and aggregation
     #: cover faulted scenarios exactly like healthy ones.
     faults: Optional[FaultSchedule] = None
+    #: Optional windowed-telemetry window length in cycles.  When set,
+    #: the runner attaches a :class:`~repro.telemetry.windows.
+    #: WindowedMetrics` collector and the scenario record embeds the
+    #: (deterministic) window series as ``window_series``.  None keeps
+    #: the run — and the spec's canonical form / cache key —
+    #: byte-identical to pre-telemetry specs.
+    telemetry_windows: Optional[int] = None
 
     def __post_init__(self) -> None:
+        if self.telemetry_windows is not None and (
+            not isinstance(self.telemetry_windows, int)
+            or isinstance(self.telemetry_windows, bool)
+            or self.telemetry_windows < 1
+        ):
+            raise ConfigError(
+                f"telemetry_windows must be an int >= 1 or None, got"
+                f" {self.telemetry_windows!r}"
+            )
         if self.faults is not None and not isinstance(
             self.faults, FaultSchedule
         ):
@@ -241,6 +257,8 @@ class ScenarioSpec:
         }
         if self.faults is not None:
             payload["faults"] = self.faults.to_dict()
+        if self.telemetry_windows is not None:
+            payload["telemetry_windows"] = self.telemetry_windows
         return payload
 
     @classmethod

@@ -161,6 +161,17 @@ class FaultInjector:
         self._boundary_label = next_label
 
     def _apply(self, event: FaultEvent, now: int) -> None:
+        tracer = self.platform.network._tracer
+        if tracer is not None:
+            # Emitted before the abort events the application below
+            # produces; the tracer's canonical intra-cycle order keeps
+            # fault -> aborts -> dataflow regardless of call order.
+            detail = (
+                f"switch {event.switch}"
+                if event.switch is not None
+                else f"{event.a}->{event.b}"
+            )
+            tracer.fault(now, event.kind, detail)
         if event.kind == "link_down":
             self._apply_link_down(event, now)
         elif event.kind == "link_up":

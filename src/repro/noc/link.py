@@ -162,6 +162,11 @@ class Link:
             return 0.0
         return min(1.0, self.flits_carried / elapsed_cycles)
 
+    def stats_snapshot(self) -> Tuple[int, int]:
+        """``(flits_carried, flits_dropped)`` — the per-link counters
+        the windowed telemetry differences at window boundaries."""
+        return (self.flits_carried, self.flits_dropped)
+
     def reset_stats(self, now: int = 0) -> None:
         """Zero the counters and open a new stats window at ``now``."""
         self.flits_carried = 0

@@ -164,6 +164,12 @@ class Network:
         self._active_switches: List[Switch] = []
         self._active_nis: List[NetworkInterface] = []
         self._in_flight_flits = 0
+        # Opt-in flit tracer (see repro.telemetry.trace).  None keeps
+        # the hot paths exactly as fast as before: the delivery and
+        # injection phases test the attribute once per *cycle with
+        # traffic*, not per flit, and branch to traced twins of the
+        # inlined loops.
+        self._tracer = None
         self._wire()
         self._max_delay = max(
             (link.delay for link in self.links), default=1
@@ -425,7 +431,9 @@ class Network:
             if retire:
                 active[:] = [sw for sw in active if sw._active]
         slot = self._flit_wheel[now % size]
-        if slot:
+        if slot and self._tracer is not None:
+            self._deliver_traced(slot, now)
+        elif slot:
             # Fused delivery: links feeding a switch input push the
             # flit straight into the buffer (Switch.receive inlined —
             # keep the two in lockstep), activating the input and
@@ -481,7 +489,9 @@ class Network:
                     sw._unpark_input(port)
             del slot[:]
         active = self._active_nis
-        if active:
+        if active and self._tracer is not None:
+            self._inject_traced(active, now)
+        elif active:
             # NetworkInterface.inject inlined (keep the two in
             # lockstep): one flit on the wire per NI per cycle is a
             # hot path at saturation.  NIs on the active list are
@@ -572,9 +582,15 @@ class Network:
         self._drain_flit_slot(now)
         active_nis = self._active_nis
         compact = False
+        tracer = self._tracer
         for ni in self.nis:
             if ni._flits:
-                ni.inject(now)
+                if tracer is None:
+                    ni.inject(now)
+                else:
+                    head = ni._flits[0]
+                    if ni.inject(now):
+                        tracer.inject(now, ni, head)
             if ni._flits:
                 if not ni._active:
                     ni._active = True
@@ -614,10 +630,113 @@ class Network:
         """Deliver the flits arriving at ``now`` (reference path)."""
         slot = self._flit_wheel[now % self._wheel_size]
         if slot:
+            if self._tracer is not None:
+                self._deliver_traced(slot, now)
+                return
             for link, flit in slot:
                 link.wire_count -= 1
                 link.sink(flit, now)
             del slot[:]
+
+    # ------------------------------------------------------------------
+    # Flit tracing (see repro.telemetry.trace)
+    # ------------------------------------------------------------------
+    def attach_tracer(self, tracer) -> None:
+        """Route flit delivery/injection through ``tracer`` hooks.
+
+        Both step paths report the same events; the tracer buffers one
+        cycle at a time and flushes it in a canonical order, so the
+        event streams of the two kernels are bit-identical even though
+        their intra-cycle iteration orders differ.
+        """
+        if self._tracer is not None:
+            raise RuntimeError("a tracer is already attached")
+        self._tracer = tracer
+
+    def detach_tracer(self):
+        """Remove and return the attached tracer (None if none)."""
+        tracer = self._tracer
+        self._tracer = None
+        return tracer
+
+    def _deliver_traced(self, slot: list, now: int) -> None:
+        """Traced twin of the fused delivery loop in :meth:`step`.
+
+        Identical state effects (``Switch.receive`` is the out-of-line
+        form of the inlined buffer push; the ejection branch mirrors
+        :meth:`_eject`), plus one tracer event per flit: ``hop`` into a
+        switch input, ``eject`` + possibly ``packet`` at reassembly.
+        """
+        tracer = self._tracer
+        for link, flit in slot:
+            link.wire_count -= 1
+            dst = link.dst
+            if dst is None:
+                rx = link.rx
+                if rx is None:
+                    link.sink(flit, now)
+                    continue
+                self._in_flight_flits -= 1
+                tracer.eject(now, link, flit)
+                if rx.receive(flit, now) is not None:
+                    tracer.packet_done(now, rx, flit.packet)
+                continue
+            tracer.hop(now, link, flit)
+            dst[0].receive(dst[1], flit, now)
+        del slot[:]
+
+    def _inject_traced(
+        self, active: List[NetworkInterface], now: int
+    ) -> None:
+        """Traced twin of the inlined NI phase in :meth:`step`.
+
+        Keep in lockstep with both that block and
+        ``NetworkInterface.inject`` — same credit/parking/drain-watch
+        semantics, plus an ``inject`` event per flit put on the wire.
+        """
+        tracer = self._tracer
+        fwheel = self._flit_wheel
+        size = self._wheel_size
+        retire = False
+        for ni in active:
+            flits = ni._flits
+            if not flits:
+                ni._active = False
+                retire = True
+                continue
+            if ni._credits <= 0:
+                ni._stall_cycles += 1
+                flits[0].stall_cycles += 1
+                ni._active = False
+                ni._park(now)
+                retire = True
+                continue
+            flit = flits.popleft()
+            if flit.is_head:
+                flit.packet.wire_entry_cycle = now
+            link = ni._link
+            if link._last_send_cycle == now:
+                link.send(flit, now)  # raises the protocol error
+            link._last_send_cycle = now
+            fwheel[(now + link.delay) % size].append((link, flit))
+            link.wire_count += 1
+            link.flits_carried += 1
+            ni._credits -= 1
+            ni.injected_flits += 1
+            if flit.is_tail:
+                ni.injected_packets += 1
+            tracer.inject(now, ni, flit)
+            level = ni._drain_level
+            if level is not None and len(flits) == level - 1:
+                callback = ni._on_drain
+                ni._drain_level = None
+                ni._on_drain = None
+                callback(now)
+            if not flits:
+                ni._active = False
+                retire = True
+        if retire:
+            active[:] = [ni for ni in active if ni._active]
 
     def run(self, cycles: int) -> None:
         """Advance the fabric by ``cycles`` clock cycles."""
@@ -850,6 +969,13 @@ class Network:
         for rx in self.rx:
             affected.update(rx.abort_packets(pids))
 
+        tracer = self._tracer
+        if tracer is not None:
+            # Sorted for canonical event order: the affected set is
+            # accumulated in fabric-walk order, which differs between
+            # kernels.
+            for pid in sorted(affected):
+                tracer.abort(now, pid)
         return dropped, per_link, affected
 
     def parked_report(self) -> List[dict]:

@@ -220,6 +220,15 @@ class NetworkInterface:
                 return self._stall_cycles + pending
         return self._stall_cycles
 
+    def stats_snapshot(self) -> tuple:
+        """``(injected_flits, injected_packets, stall_cycles)`` settled
+        through the last emulated cycle (windowed-telemetry reading)."""
+        return (
+            self.injected_flits,
+            self.injected_packets,
+            self.stall_cycles,
+        )
+
     def watch_drain(
         self, level: int, callback: Callable[[int], None]
     ) -> None:
@@ -374,6 +383,11 @@ class ReassemblyBuffer:
     def partial_packets(self) -> int:
         """Packets with some but not all flits received (in flight)."""
         return len(self._partial)
+
+    def stats_snapshot(self) -> tuple:
+        """``(received_flits, received_packets)`` — the ejection-side
+        counters the windowed telemetry differences."""
+        return (self.received_flits, self.received_packets)
 
     def reset_stats(self) -> None:
         self.received_flits = 0

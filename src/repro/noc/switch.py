@@ -831,6 +831,21 @@ class Switch:
         _, pending = self._pending_stall_deltas()
         return self._credit_stall_cycles + pending
 
+    def stats_snapshot(self) -> Tuple[int, int, int]:
+        """``(forwarded, blocked, credit_stalls)`` settled through the
+        last emulated cycle.
+
+        One reading of the three settle-on-read counters with a single
+        parked-input walk — the windowed-telemetry snapshot path, where
+        the separate properties would walk the parked inputs twice.
+        """
+        blocked, credit = self._pending_stall_deltas()
+        return (
+            self.flits_forwarded,
+            self._blocked_flit_cycles + blocked,
+            self._credit_stall_cycles + credit,
+        )
+
     def output_credits(self, port: int) -> Optional[int]:
         """Remaining credits of output ``port`` (None = infinite)."""
         out = self._outputs[port]

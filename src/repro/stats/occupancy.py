@@ -44,7 +44,12 @@ class OccupancyReport:
         if not network.sample_buffers:
             raise ValueError(
                 "occupancy reporting needs a network built with"
-                " sample_buffers=True"
+                " sample_buffers=True (note: per-cycle sampling"
+                " disables idle fast-forward; for mid-run occupancy"
+                " at full speed use the windowed telemetry series"
+                " instead — repro.telemetry.WindowedMetrics reports"
+                " per-switch buffered flits at every window boundary"
+                " with fast-forward and parking fully engaged)"
             )
         self.stats: List[BufferStat] = []
         for switch in network.switches:

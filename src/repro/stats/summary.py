@@ -150,4 +150,12 @@ def scenario_metrics(
             max(recoveries) if recoveries else None
         )
         metrics["fault_degraded"] = bool(faults.degraded)
+    windows = getattr(result, "windows", None)
+    if windows is not None:
+        # Windowed-telemetry series: boundary-differenced counters,
+        # deterministic by construction (no wall-clock in any record),
+        # so sweeps can aggregate time-resolved behaviour — e.g. the
+        # onset of throughput collapse under a fault — straight from
+        # cached records.
+        metrics["window_series"] = [w.to_dict() for w in windows]
     return metrics

@@ -1,0 +1,31 @@
+"""Parking-aware telemetry: windowed metrics, flit traces, progress.
+
+The observability layer of the reproduction (the software face of the
+paper's hardware monitor): :class:`WindowedMetrics` differencing the
+settle-on-read counters at window boundaries, :class:`FlitTracer`
+streaming flit-level events to JSONL/Perfetto, :class:`ProgressMeter`
+firing live run-progress callbacks — all designed so input parking and
+idle fast-forward stay fully engaged while telemetry is on.
+"""
+
+from repro.telemetry.progress import (
+    ProgressMeter,
+    ProgressSample,
+    format_progress,
+)
+from repro.telemetry.trace import FlitTracer
+from repro.telemetry.windows import (
+    WindowRecord,
+    WindowedMetrics,
+    format_window_table,
+)
+
+__all__ = [
+    "FlitTracer",
+    "ProgressMeter",
+    "ProgressSample",
+    "WindowRecord",
+    "WindowedMetrics",
+    "format_progress",
+    "format_window_table",
+]

@@ -1,0 +1,273 @@
+"""Flit/packet event tracing.
+
+Opt-in hooks on the network's hot paths record one event per flit
+injection, per link traversal (hop), per ejection, and per fault abort.
+Events stream to JSONL (one canonical-JSON object per line) and export
+to the Chrome/Perfetto ``trace_event`` format — one track per link,
+one async span per packet — so a saturated or faulted run can be
+scrubbed visually in ``chrome://tracing`` / ui.perfetto.dev exactly
+like a hardware waveform.
+
+Determinism: the two kernels drive the same per-cycle events but in
+different intra-cycle orders (the event kernel iterates active lists,
+the reference kernel scans everything).  The tracer therefore buffers
+one cycle at a time and flushes it sorted by a canonical key
+``(kind, where, pid, seq)``; the streams and event lists of the two
+kernels are bit-identical (see ``tests/telemetry/test_trace.py`` and
+the parity suite).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, List, Optional
+
+#: Canonical intra-cycle order: fault application precedes its aborts,
+#: which precede the cycle's normal dataflow (injection happens in the
+#: last network phase, but a flit injected at cycle ``c`` reaches its
+#: first switch at ``c + delay``, so sorting injects before hops of
+#: the same cycle never reorders cause after effect).
+_KIND_ORDER = {
+    "fault": 0,
+    "abort": 1,
+    "inject": 2,
+    "hop": 3,
+    "eject": 4,
+    "packet": 5,
+}
+
+
+class FlitTracer:
+    """Collects flit-level events from an attached network.
+
+    Parameters
+    ----------
+    stream:
+        Optional text file-like; each flushed event is written as one
+        canonical JSON line (sorted keys, no spaces).
+    keep:
+        Keep flushed events in :attr:`events` (needed for
+        :meth:`to_perfetto`; disable for huge streamed runs).
+
+    Attach with :meth:`~repro.noc.network.Network.attach_tracer`; call
+    :meth:`close` after the run to flush the final cycle.
+    """
+
+    def __init__(
+        self, stream: Optional[IO[str]] = None, keep: bool = True
+    ) -> None:
+        self.stream = stream
+        self.keep = keep
+        self.events: List[Dict[str, Any]] = []
+        self._cycle = -1
+        self._pending: List[tuple] = []
+
+    # ------------------------------------------------------------------
+    # Hooks (called by the network / fault injector)
+    # ------------------------------------------------------------------
+    def inject(self, now: int, ni, flit) -> None:
+        """A flit left an NI source queue onto its injection link."""
+        self._note(now, "inject", ni.name, flit.packet.pid, flit.seq)
+
+    def hop(self, now: int, link, flit) -> None:
+        """A flit finished a link flight into a switch input buffer."""
+        self._note(
+            now,
+            "hop",
+            link.name,
+            flit.packet.pid,
+            flit.seq,
+            link.delay,
+        )
+
+    def eject(self, now: int, link, flit) -> None:
+        """A flit finished its ejection-link flight into reassembly."""
+        self._note(
+            now,
+            "eject",
+            link.name,
+            flit.packet.pid,
+            flit.seq,
+            link.delay,
+        )
+
+    def packet_done(self, now: int, rx, packet) -> None:
+        """Reassembly completed a packet (its tail flit arrived)."""
+        self._note(now, "packet", rx.name, packet.pid, packet.length)
+
+    def abort(self, now: int, pid: int) -> None:
+        """Fault injection flushed every trace of packet ``pid``."""
+        self._note(now, "abort", "", pid, 0)
+
+    def fault(self, now: int, kind: str, detail: str) -> None:
+        """A fault-schedule event was applied to the fabric."""
+        self._note(now, "fault", detail, -1, 0, kind)
+
+    # ------------------------------------------------------------------
+    # Buffering + output
+    # ------------------------------------------------------------------
+    def _note(
+        self,
+        now: int,
+        kind: str,
+        where: str,
+        pid: int,
+        seq: int,
+        extra: Any = None,
+    ) -> None:
+        if now != self._cycle:
+            if self._pending:
+                self._flush()
+            self._cycle = now
+        self._pending.append(
+            (_KIND_ORDER[kind], where, pid, seq, kind, extra, now)
+        )
+
+    def _flush(self) -> None:
+        """Emit the buffered cycle in canonical order."""
+        pending = self._pending
+        pending.sort(key=lambda e: e[:4])
+        stream = self.stream
+        keep = self.keep
+        for order, where, pid, seq, kind, extra, now in pending:
+            event: Dict[str, Any] = {
+                "cycle": now,
+                "kind": kind,
+                "where": where,
+                "pid": pid,
+                "seq": seq,
+            }
+            if kind in ("hop", "eject"):
+                event["dur"] = extra
+            elif kind == "fault":
+                event["fault"] = extra
+            if keep:
+                self.events.append(event)
+            if stream is not None:
+                stream.write(
+                    json.dumps(
+                        event, sort_keys=True, separators=(",", ":")
+                    )
+                )
+                stream.write("\n")
+        del pending[:]
+
+    def close(self) -> None:
+        """Flush the final buffered cycle (idempotent)."""
+        if self._pending:
+            self._flush()
+
+    # ------------------------------------------------------------------
+    # Perfetto export
+    # ------------------------------------------------------------------
+    def to_perfetto(self) -> Dict[str, Any]:
+        """Chrome ``trace_event`` JSON: link tracks + packet spans.
+
+        One timeline track (tid) per link/NI/RX name carrying its
+        flit-level events (hops and ejects as complete "X" slices over
+        their link flight, injects as instants), plus one async span
+        per packet from its first injected flit to its completion or
+        abort.  Timestamps are emulated cycles (rendered as
+        microseconds by the viewers).  Requires ``keep=True``.
+        """
+        self.close()
+        events = self.events
+        tracks = sorted(
+            {e["where"] for e in events if e["where"]}
+        )
+        tids = {name: i + 1 for i, name in enumerate(tracks)}
+        out: List[Dict[str, Any]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "args": {"name": "noc-emulation"},
+            }
+        ]
+        for name, tid in tids.items():
+            out.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"name": name},
+                }
+            )
+        span_open: Dict[int, int] = {}
+        for e in events:
+            kind = e["kind"]
+            pid = e["pid"]
+            cycle = e["cycle"]
+            if kind == "inject":
+                if pid not in span_open:
+                    span_open[pid] = cycle
+                    out.append(
+                        {
+                            "name": f"packet {pid}",
+                            "cat": "packet",
+                            "ph": "b",
+                            "id": pid,
+                            "ts": cycle,
+                            "pid": 0,
+                            "tid": 0,
+                        }
+                    )
+                out.append(
+                    {
+                        "name": f"p{pid}.f{e['seq']}",
+                        "cat": "flit",
+                        "ph": "i",
+                        "s": "t",
+                        "ts": cycle,
+                        "pid": 0,
+                        "tid": tids[e["where"]],
+                    }
+                )
+            elif kind in ("hop", "eject"):
+                dur = e["dur"]
+                out.append(
+                    {
+                        "name": f"p{pid}.f{e['seq']}",
+                        "cat": kind,
+                        "ph": "X",
+                        "ts": cycle - dur,
+                        "dur": dur,
+                        "pid": 0,
+                        "tid": tids[e["where"]],
+                        "args": {"pid": pid, "seq": e["seq"]},
+                    }
+                )
+            elif kind in ("packet", "abort") and pid in span_open:
+                out.append(
+                    {
+                        "name": f"packet {pid}",
+                        "cat": "packet",
+                        "ph": "e",
+                        "id": pid,
+                        "ts": cycle,
+                        "pid": 0,
+                        "tid": 0,
+                        "args": {"outcome": kind},
+                    }
+                )
+                del span_open[pid]
+            elif kind == "fault":
+                out.append(
+                    {
+                        "name": f"fault {e['fault']} {e['where']}",
+                        "cat": "fault",
+                        "ph": "i",
+                        "s": "g",
+                        "ts": cycle,
+                        "pid": 0,
+                        "tid": 0,
+                    }
+                )
+        return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+    def write_perfetto(self, path: str) -> None:
+        """Dump :meth:`to_perfetto` to ``path`` as JSON."""
+        with open(path, "w") as fh:
+            json.dump(self.to_perfetto(), fh)

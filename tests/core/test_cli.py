@@ -279,3 +279,134 @@ class TestBatchCommand:
         captured = capsys.readouterr()
         assert code == 0
         assert "[4/4]" in captured.err
+
+
+class TestTelemetryFlags:
+    def test_progress_prints_live_lines(self, capsys):
+        code = main(["run", "--packets", "60", "--progress"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "emulation report" in captured.out
+        lines = [
+            l for l in captured.err.splitlines() if l.startswith("cycle")
+        ]
+        assert lines and lines[-1].endswith("done")
+
+    def test_windows_flag_prints_series(self, capsys):
+        code = main(["run", "--packets", "60", "--windows", "200"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "telemetry windows:" in out
+        assert "in-flight" in out
+
+    def test_windows_out_writes_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "windows.json"
+        code = main(
+            [
+                "run", "--packets", "60",
+                "--windows", "200", "--windows-out", str(path),
+            ]
+        )
+        assert code == 0
+        series = json.loads(path.read_text())
+        assert series and series[0]["index"] == 0
+        assert all(w["end"] > w["start"] for w in series)
+
+    def test_windows_out_requires_windows(self, capsys):
+        code = main(
+            ["run", "--packets", "60", "--windows-out", "w.json"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--windows" in captured.err
+
+    def test_trace_writes_jsonl(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "flits.jsonl"
+        code = main(
+            ["run", "--packets", "40", "--trace", str(path)]
+        )
+        assert code == 0
+        lines = path.read_text().splitlines()
+        assert lines
+        kinds = {json.loads(l)["kind"] for l in lines}
+        assert {"inject", "hop", "eject", "packet"} <= kinds
+
+    def test_trace_perfetto_writes_trace_events(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.json"
+        code = main(
+            ["run", "--packets", "40", "--trace-perfetto", str(path)]
+        )
+        assert code == 0
+        doc = json.loads(path.read_text())
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"M", "X", "b", "e"} <= phases
+
+    def test_profile_out_dumps_loadable_stats(self, tmp_path, capsys):
+        import pstats
+
+        path = tmp_path / "run.pstats"
+        code = main(
+            ["run", "--packets", "40", "--profile-out", str(path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "profile: top 20" in out  # --profile implied
+        stats = pstats.Stats(str(path))
+        assert stats.total_calls > 0
+
+    def test_profile_out_on_paper_flow_path(self, tmp_path, capsys):
+        import pstats
+
+        path = tmp_path / "paper.pstats"
+        code = main(
+            [
+                "run", "--packets", "40", "--traffic", "burst",
+                "--profile-out", str(path),
+            ]
+        )
+        assert code == 0
+        assert pstats.Stats(str(path)).total_calls > 0
+
+    def test_telemetry_with_faults_and_saturation(self, tmp_path, capsys):
+        """All flags at once on a faulted run: the flags compose."""
+        import json
+
+        wpath = tmp_path / "w.json"
+        code = main(
+            [
+                "run", "--packets", "150", "--load", "0.9",
+                "--fail-link", "1:4@300",
+                "--windows", "250", "--windows-out", str(wpath),
+                "--progress",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "faults:" in captured.out  # monitor section
+        assert "--- faults ---" in captured.out  # terse summary
+        series = json.loads(wpath.read_text())
+        assert sum(w["fault_dropped_flits"] for w in series) > 0
+
+    def test_batch_progress_prints_wall_seconds(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "sweep.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "base": {"traffic": "uniform", "packets": 30},
+                    "grid": {"load": [0.15, 0.3]},
+                }
+            )
+        )
+        code = main(["batch", str(path), "--no-cache", "--progress"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "[2/2]" in captured.err
+        assert "s)" in captured.err  # wall-clock suffix on each line

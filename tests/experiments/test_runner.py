@@ -183,3 +183,30 @@ class TestLiveProgress:
         cache = ResultCache(str(tmp_path))
         SweepRunner(workers=2, cache=cache).run(SPECS[:4])
         assert len(cache) == 4
+
+
+class TestWindowSeries:
+    def test_run_scenario_embeds_window_series(self):
+        spec = ScenarioSpec(packets=40, telemetry_windows=200)
+        result = run_scenario(spec)
+        series = result.metrics["window_series"]
+        assert series and series[0]["start"] == 0
+        assert series[-1]["end"] == result.metrics["cycles"]
+        assert sum(w["ejected_packets"] for w in series) == (
+            result.metrics["packets_received"]
+        )
+
+    def test_window_series_deterministic_and_cacheable(self, tmp_path):
+        spec = ScenarioSpec(packets=40, telemetry_windows=200)
+        cache = ResultCache(str(tmp_path))
+        first = SweepRunner(cache=cache).run([spec])[0]
+        second = SweepRunner(cache=cache).run([spec])[0]
+        assert second.cached
+        assert first.metrics == second.metrics
+        assert json.dumps(first.record(), sort_keys=True) == (
+            json.dumps(second.record(), sort_keys=True)
+        )
+
+    def test_no_series_without_field(self):
+        result = run_scenario(ScenarioSpec(packets=40))
+        assert "window_series" not in result.metrics

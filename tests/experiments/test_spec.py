@@ -289,3 +289,25 @@ class TestRoutingSpelling:
         for bad in ("multipath4", "multipathX", "multipath:", "multipath:0"):
             with pytest.raises(ConfigError, match="routing"):
                 ScenarioSpec(routing=bad)
+
+
+class TestTelemetryWindowsField:
+    def test_round_trip_and_key(self):
+        spec = ScenarioSpec(packets=40, telemetry_windows=500)
+        again = ScenarioSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.telemetry_windows == 500
+        assert spec.key != ScenarioSpec(packets=40).key
+
+    def test_none_is_omitted_from_dict(self):
+        """Legacy cache keys must not change when the field is unset:
+        a spec without telemetry serialises exactly as before the
+        field existed."""
+        spec = ScenarioSpec(packets=40)
+        assert "telemetry_windows" not in spec.to_dict()
+        assert spec == ScenarioSpec.from_dict(spec.to_dict())
+
+    @pytest.mark.parametrize("bad", [0, -5, 1.5, "100", True])
+    def test_bad_values_rejected(self, bad):
+        with pytest.raises(ConfigError, match="telemetry_windows"):
+            ScenarioSpec(telemetry_windows=bad)
