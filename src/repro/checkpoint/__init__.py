@@ -1,0 +1,40 @@
+"""Checkpoint/restore: freeze a run at a cycle boundary, resume it
+bit-identically later — in this process, another one, or another
+machine.
+
+The three public operations:
+
+* :func:`snapshot` — capture the complete mutable state of a platform
+  (and its engine's fault/telemetry state) as a :class:`Checkpoint`;
+* :meth:`Checkpoint.save` / :func:`load_checkpoint` — versioned,
+  canonical, content-hashed disk round-trip with ResultCache-style
+  corruption semantics (clean errors, never partial restores);
+* :func:`restore` — rebuild ``(platform, engine)`` whose continuation
+  is bit-identical to the uninterrupted run on both kernels.
+
+Built on top: warm-started sweeps (ramp a shared prefix once, fork one
+restore per sweep point — see :mod:`repro.experiments.runner`) and
+crash-safe long runs (``repro run --checkpoint-every``).
+"""
+
+from .capture import snapshot
+from .errors import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointSchemaError,
+    CheckpointSpecMismatch,
+)
+from .record import CHECKPOINT_SCHEMA, Checkpoint, load_checkpoint
+from .restore import restore
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "Checkpoint",
+    "CheckpointCorruptError",
+    "CheckpointError",
+    "CheckpointSchemaError",
+    "CheckpointSpecMismatch",
+    "load_checkpoint",
+    "restore",
+    "snapshot",
+]

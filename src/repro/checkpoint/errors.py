@@ -1,0 +1,65 @@
+"""Checkpoint error taxonomy.
+
+Every failure mode of the checkpoint layer maps onto a dedicated
+exception so callers (CLI, sweep runner, tests) can distinguish "the
+file is damaged" from "you are resuming the wrong scenario" without
+string matching.  All of them subclass :class:`~repro.core.errors.
+EmulationError`, mirroring how :class:`ConfigError` slots into the
+platform's error family.
+
+The contract shared by all of them: a raised checkpoint error means
+*nothing was mutated*.  ``load`` validates the whole record before
+returning and ``restore`` builds a fresh platform, so a failed load or
+restore never leaves a half-restored platform behind.
+"""
+
+from repro.core.errors import EmulationError
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointCorruptError",
+    "CheckpointSchemaError",
+    "CheckpointSpecMismatch",
+]
+
+
+class CheckpointError(EmulationError):
+    """Base class for all checkpoint failures."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """The file on disk is damaged: truncated, invalid JSON, missing
+    required sections, or its content hash does not match the payload.
+    """
+
+
+class CheckpointSchemaError(CheckpointError):
+    """The file was written by an incompatible checkpoint schema
+    version; it is well-formed but this code cannot interpret it.
+    """
+
+
+class CheckpointSpecMismatch(CheckpointError):
+    """The checkpoint belongs to a different scenario than requested.
+
+    Guards against silently resuming the wrong scenario: the error
+    names both content hashes so the operator can see *which* two specs
+    collided.
+
+    Attributes
+    ----------
+    expected_key:
+        ``ScenarioSpec.key`` of the spec the caller asked to resume.
+    found_key:
+        ``ScenarioSpec.key`` embedded in the checkpoint file.
+    """
+
+    def __init__(self, expected_key: str, found_key: str,
+                 where: str = "checkpoint"):
+        self.expected_key = expected_key
+        self.found_key = found_key
+        super().__init__(
+            f"{where} was taken from a different scenario: requested"
+            f" spec hash {expected_key}, checkpoint carries spec hash"
+            f" {found_key}; refusing to resume the wrong scenario"
+        )

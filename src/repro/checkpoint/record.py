@@ -1,0 +1,198 @@
+"""The on-disk checkpoint record: versioned, canonical, content-hashed.
+
+A :class:`Checkpoint` is a pure-data object — the scenario spec that
+built the platform plus one JSON-plain ``state`` dict enumerating every
+piece of mutable emulation state (see :mod:`repro.checkpoint.capture`
+for the enumeration).  Hashing and serialization mirror the conventions
+of :class:`~repro.experiments.spec.ScenarioSpec` and
+:class:`~repro.experiments.cache.ResultCache`:
+
+* canonical JSON — sorted keys, ``(",", ":")`` separators — so the
+  content hash is byte-stable across processes;
+* ``content_hash`` — first 16 hex chars of the SHA-256 of the schema +
+  spec + state payload, embedded in the file and re-verified on load;
+* atomic writes — ``mkstemp`` + ``os.replace``, so a crash mid-save
+  never leaves a truncated checkpoint where a good one stood;
+* clean errors, never partial reads — truncation, bad JSON, a foreign
+  schema version, or a hash mismatch each raise their own
+  :mod:`~repro.checkpoint.errors` class before anything is returned.
+
+One deliberate caveat: a checkpoint taken *after an online repair*
+embeds the fault report's ``repair_wall_seconds`` (real wall-clock
+spent rebuilding route tables), so two checkpoints of the same faulted
+run hash differently.  Healthy ramps — the warm-start case — are fully
+deterministic: same spec, same cycle, same hash.
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.experiments.spec import ScenarioSpec
+
+from .errors import (
+    CheckpointCorruptError,
+    CheckpointSchemaError,
+    CheckpointSpecMismatch,
+)
+
+__all__ = ["CHECKPOINT_SCHEMA", "Checkpoint", "load_checkpoint"]
+
+#: Bump when the state layout changes incompatibly.  Old files then
+#: read as :class:`CheckpointSchemaError`, never as garbage state.
+CHECKPOINT_SCHEMA = 1
+
+
+def _canonical(payload: Any) -> bytes:
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Complete emulation state at one cycle boundary.
+
+    ``state`` is JSON-plain (dicts, lists, ints, strings, None) by
+    construction; everything structural is rebuilt from ``spec`` at
+    restore time, so the record stays portable across processes.
+    """
+
+    spec: ScenarioSpec
+    state: Dict[str, Any]
+
+    @property
+    def cycle(self) -> int:
+        """The cycle boundary this checkpoint was taken at."""
+        return self.state["cycle"]
+
+    @property
+    def content_hash(self) -> str:
+        """16-hex-char SHA-256 over schema, spec and state."""
+        payload = {
+            "schema": CHECKPOINT_SCHEMA,
+            "spec": self.spec.to_dict(),
+            "state": self.state,
+        }
+        return hashlib.sha256(_canonical(payload)).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The full file payload, hash included."""
+        return {
+            "schema": CHECKPOINT_SCHEMA,
+            "hash": self.content_hash,
+            "spec": self.spec.to_dict(),
+            "state": self.state,
+        }
+
+    def save(self, path: str) -> str:
+        """Atomically write the checkpoint to ``path``.
+
+        Returns the content hash so callers can fold it into cache
+        keys without recomputing.
+        """
+        digest = self.content_hash
+        payload = {
+            "schema": CHECKPOINT_SCHEMA,
+            "hash": digest,
+            "spec": self.spec.to_dict(),
+            "state": self.state,
+        }
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=directory, prefix=".checkpoint-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(_canonical(payload))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return digest
+
+    @classmethod
+    def from_dict(cls, record: Any, where: str = "checkpoint"
+                  ) -> "Checkpoint":
+        """Validate a parsed file payload into a :class:`Checkpoint`.
+
+        Raises one of the :mod:`~repro.checkpoint.errors` classes on
+        any defect; on success the returned object is fully verified
+        (schema, structure, content hash).
+        """
+        if not isinstance(record, dict):
+            raise CheckpointCorruptError(
+                f"{where}: expected a JSON object, got"
+                f" {type(record).__name__}"
+            )
+        schema = record.get("schema")
+        if schema != CHECKPOINT_SCHEMA:
+            raise CheckpointSchemaError(
+                f"{where}: schema version {schema!r} is not the"
+                f" supported version {CHECKPOINT_SCHEMA}"
+            )
+        for field in ("hash", "spec", "state"):
+            if field not in record:
+                raise CheckpointCorruptError(
+                    f"{where}: missing required field {field!r}"
+                )
+        if not isinstance(record["state"], dict):
+            raise CheckpointCorruptError(
+                f"{where}: 'state' must be an object"
+            )
+        try:
+            spec = ScenarioSpec.from_dict(record["spec"])
+        except Exception as exc:
+            raise CheckpointCorruptError(
+                f"{where}: embedded spec does not parse: {exc}"
+            ) from exc
+        checkpoint = cls(spec=spec, state=record["state"])
+        digest = checkpoint.content_hash
+        if digest != record["hash"]:
+            raise CheckpointCorruptError(
+                f"{where}: content hash mismatch — file claims"
+                f" {record['hash']!r} but payload hashes to"
+                f" {digest!r}; the record was tampered with or"
+                f" damaged"
+            )
+        return checkpoint
+
+
+def load_checkpoint(path: str,
+                    spec: Optional[ScenarioSpec] = None) -> Checkpoint:
+    """Read and fully validate a checkpoint file.
+
+    When ``spec`` is given, the embedded spec must hash to the same
+    scenario key — resuming under a different scenario raises
+    :class:`CheckpointSpecMismatch` naming both hashes.  Every failure
+    raises before anything is returned; there are no partial loads.
+    """
+    where = os.path.basename(path)
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except OSError as exc:
+        raise CheckpointCorruptError(
+            f"{where}: cannot read checkpoint: {exc}"
+        ) from exc
+    try:
+        record = json.loads(raw)
+    except ValueError as exc:
+        raise CheckpointCorruptError(
+            f"{where}: not valid JSON (truncated or damaged): {exc}"
+        ) from exc
+    checkpoint = Checkpoint.from_dict(record, where=where)
+    if spec is not None and checkpoint.spec.key != spec.key:
+        raise CheckpointSpecMismatch(
+            expected_key=spec.key,
+            found_key=checkpoint.spec.key,
+            where=where,
+        )
+    return checkpoint

@@ -35,6 +35,24 @@ Telemetry flags of ``run`` (see ``repro.telemetry``):
   per-scenario retirement lines with wall-clock seconds.
 * ``--profile-out FILE`` dumps the raw cProfile stats of a profiled
   run for ``pstats``/snakeviz (implies ``--profile``).
+
+Checkpoint flags of ``run`` (see ``repro.checkpoint``)::
+
+    python -m repro run --packets 5000 --checkpoint-out cp.json
+    python -m repro run --packets 5000 --checkpoint-out cp.json \
+                        --checkpoint-every 10000
+    python -m repro run --packets 5000 --resume cp.json
+
+* ``--checkpoint-out FILE`` snapshots the complete emulation state
+  (versioned, content-hashed JSON) when the run stops; with
+  ``--checkpoint-every N`` the file is atomically rewritten every N
+  emulated cycles, so a crashed or killed long run resumes from the
+  last boundary instead of cycle 0.
+* ``--resume FILE`` restores a checkpoint and continues it —
+  bit-identically to the uninterrupted run.  The scenario flags must
+  describe the *same* spec (guarded by a content-hash check), and the
+  checkpoint's own fault schedule and telemetry are restored with it,
+  so ``--fail-*``/``--heal-*``/``--windows`` are rejected.
 """
 
 from __future__ import annotations
@@ -45,7 +63,7 @@ from typing import List, Optional
 
 from repro.core.config import paper_platform_config
 from repro.core.engine import EmulationEngine
-from repro.core.errors import ConfigError
+from repro.core.errors import ConfigError, EmulationError
 from repro.core.flow import EmulationFlow
 from repro.core.platform import build_platform
 from repro.fpga.synthesis import synthesize
@@ -265,12 +283,38 @@ def _profiled(fn, top: int, out: Optional[str] = None):
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    from repro.checkpoint.errors import CheckpointError
+
     top = args.profile_top
     do_profile = args.profile or args.profile_out is not None
+    checkpoint_on = bool(args.checkpoint_out or args.resume)
     try:
         faults = _fault_schedule_from(args)
-        if args.windows_out and args.windows is None:
+        if args.windows_out and args.windows is None and not args.resume:
             raise ConfigError("--windows-out needs --windows N")
+        if args.checkpoint_every is not None:
+            if args.checkpoint_every < 1:
+                raise ConfigError(
+                    "--checkpoint-every needs a positive cycle count"
+                )
+            if not args.checkpoint_out:
+                raise ConfigError(
+                    "--checkpoint-every needs --checkpoint-out FILE"
+                )
+        if args.checkpoint_out and (
+            args.trace or args.trace_perfetto
+        ):
+            raise ConfigError(
+                "--checkpoint-out is incompatible with"
+                " --trace/--trace-perfetto (detach the tracer, "
+                "checkpoint, then re-attach a fresh one instead)"
+            )
+        if args.resume and (faults is not None or args.windows):
+            raise ConfigError(
+                "--resume restores the checkpoint's own fault"
+                " schedule and telemetry; drop the --fail-*/--heal-*/"
+                "--windows flags"
+            )
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -285,6 +329,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         and args.routing in _PAPER_ROUTING
         and faults is None
         and not telemetry_on
+        and not checkpoint_on
     ):
         # The paper platform keeps its historical path (six-step flow,
         # seed registers loaded as seed+i) so outputs stay comparable
@@ -307,15 +352,26 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     try:
         spec = _scenario_from(args, args.packets)
-        platform = build_platform(spec.to_platform_config())
-        telemetry = None
-        if args.windows is not None:
-            from repro.telemetry import WindowedMetrics
+        if args.resume:
+            from repro.checkpoint import load_checkpoint, restore
 
-            telemetry = WindowedMetrics(platform, args.windows)
-        engine = EmulationEngine(
-            platform, faults=faults, telemetry=telemetry
-        )
+            checkpoint = load_checkpoint(args.resume, spec=spec)
+            platform, engine = restore(checkpoint)
+            print(
+                f"resumed {args.resume} at cycle {checkpoint.cycle}"
+                f" (spec {spec.key})",
+                file=sys.stderr,
+            )
+        else:
+            platform = build_platform(spec.to_platform_config())
+            telemetry = None
+            if args.windows is not None:
+                from repro.telemetry import WindowedMetrics
+
+                telemetry = WindowedMetrics(platform, args.windows)
+            engine = EmulationEngine(
+                platform, faults=faults, telemetry=telemetry
+            )
         progress = None
         if args.progress:
             from repro.telemetry import format_progress
@@ -336,15 +392,86 @@ def cmd_run(args: argparse.Namespace) -> int:
                 stream=trace_stream, keep=bool(args.trace_perfetto)
             )
             platform.network.attach_tracer(tracer)
+        def execute():
+            if not args.checkpoint_out:
+                return engine.run(progress=progress)
+            # Crash-safe execution: run in finalize=False chunks,
+            # rewriting the checkpoint after each (atomic replace —
+            # a crash leaves the previous good checkpoint), then
+            # close the fault/telemetry books without stepping.
+            from repro.checkpoint import snapshot
+
+            every = args.checkpoint_every
+            run_start = platform.cycle
+            total_wall = 0.0
+            if every:
+                stagnant = 0
+                prev_received = platform.packets_received
+                result = engine.run(
+                    max_cycles=every, finalize=False,
+                    progress=progress,
+                )
+                total_wall += result.wall_seconds
+                while (
+                    not (result.budget_done and result.drained)
+                    and getattr(result, "degraded_reason", None)
+                    is None
+                ):
+                    # The engine's stagnation guard resets per
+                    # chunk; re-impose it across chunks so a
+                    # deadlocked run cannot checkpoint forever.
+                    if (
+                        platform.packets_received == prev_received
+                        and platform.network._in_flight_flits > 0
+                    ):
+                        stagnant += every
+                        if stagnant >= 100_000:
+                            raise EmulationError(
+                                "no delivery across"
+                                f" {stagnant} checkpointed cycles"
+                                " (possible routing deadlock);"
+                                " refusing to checkpoint forever"
+                            )
+                    else:
+                        stagnant = 0
+                    prev_received = platform.packets_received
+                    snapshot(platform, spec, engine).save(
+                        args.checkpoint_out
+                    )
+                    result = engine.run(
+                        max_cycles=every, finalize=False,
+                        progress=progress,
+                    )
+                    total_wall += result.wall_seconds
+            else:
+                result = engine.run(
+                    finalize=False, progress=progress
+                )
+                total_wall += result.wall_seconds
+            snapshot(platform, spec, engine).save(
+                args.checkpoint_out
+            )
+            print(
+                f"wrote {args.checkpoint_out}", file=sys.stderr
+            )
+            # The report covers the whole execution, not the last
+            # chunk.
+            from dataclasses import replace
+
+            result = replace(
+                result,
+                cycles=platform.cycle - run_start,
+                wall_seconds=total_wall,
+            )
+            return engine.finalize_run(result)
+
         try:
             if do_profile:
                 result, table = _profiled(
-                    lambda: engine.run(progress=progress),
-                    top,
-                    args.profile_out,
+                    execute, top, args.profile_out
                 )
             else:
-                result, table = engine.run(progress=progress), None
+                result, table = execute(), None
         finally:
             if tracer is not None:
                 platform.network.detach_tracer()
@@ -353,7 +480,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                     trace_stream.close()
         if args.trace_perfetto:
             tracer.write_perfetto(args.trace_perfetto)
-    except ConfigError as exc:
+    except (ConfigError, CheckpointError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(Monitor(platform).final_report(result))
@@ -644,6 +771,37 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "export the flit trace as a Chrome/Perfetto trace_event"
             " JSON file (open in ui.perfetto.dev)"
+        ),
+    )
+    run_parser.add_argument(
+        "--checkpoint-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write a complete-state checkpoint (versioned,"
+            " content-hashed JSON) when the run stops; resumable"
+            " with --resume"
+        ),
+    )
+    run_parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help=(
+            "with --checkpoint-out: atomically rewrite the"
+            " checkpoint every CYCLES emulated cycles (crash-safe"
+            " long runs)"
+        ),
+    )
+    run_parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="FILE",
+        help=(
+            "restore the checkpoint and continue it bit-identically;"
+            " the scenario flags must describe the same spec"
+            " (content-hash checked)"
         ),
     )
     run_parser.set_defaults(func=cmd_run)

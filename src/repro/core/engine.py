@@ -113,6 +113,12 @@ class EmulationEngine:
         #: the run drives it at window boundaries and the result
         #: carries its records as ``EngineResult.windows``.
         self.telemetry = telemetry
+        #: The live :class:`~repro.faults.injector.FaultInjector` of a
+        #: faulted run.  Created on the first ``run()`` and kept, so a
+        #: chunked run (``finalize=False``) resumes the schedule
+        #: mid-flight instead of restarting it; checkpoint/restore
+        #: captures and re-seats it.
+        self._injector = None
 
     def run(
         self,
@@ -124,6 +130,7 @@ class EmulationEngine:
         stagnation_cycles: int = 100_000,
         progress=None,
         progress_interval: float = 0.5,
+        finalize: bool = True,
     ) -> EngineResult:
         """Run until done (budget exhausted + drained) or a limit hits.
 
@@ -156,6 +163,14 @@ class EmulationEngine:
         an idle fast-forward lands on a window boundary so the skipped
         windows emit as zero-delta records (parking and fast-forward
         stay fully engaged — nothing is sampled per cycle).
+
+        ``finalize=False`` runs a *chunk* of a longer emulation: the
+        fault report is returned live (no end-window cut) and the
+        telemetry collector's partial window stays open, so a
+        follow-up ``run()`` on the same engine — or on the engine
+        restored from a checkpoint of this one — continues
+        bit-identically to a single uninterrupted run.  Close the
+        books with :meth:`finalize_run` after the last chunk.
         """
         if max_cycles is None and max_packets is None:
             budget_bounded = all(
@@ -194,12 +209,21 @@ class EmulationEngine:
         # (event cycles, plus every cycle of a flaky window or an
         # unresolved recovery watch); healthy runs pay one comparison
         # per cycle.
-        injector = None
+        injector = self._injector
         fault_next = _NEVER
-        if self.faults is not None and self.faults.events:
+        if injector is not None:
+            # Resuming (a later chunk of a finalize=False run, or a
+            # restored checkpoint): re-derive the wake register from
+            # the cycle *before* the boundary, so a flaky window or
+            # recovery watch active across it still ticks at
+            # start_cycle exactly as the uninterrupted loop would.
+            fault_next = injector._wake_cycle(start_cycle - 1)
+        elif self.faults is not None and self.faults.events:
             from repro.faults.injector import FaultInjector
 
-            injector = FaultInjector(self.faults, platform)
+            injector = self._injector = FaultInjector(
+                self.faults, platform
+            )
             fault_next = injector.begin(start_cycle)
         # Windowed telemetry and live progress use the same shape as
         # fault injection: a "next interesting cycle" register checked
@@ -331,14 +355,18 @@ class EmulationEngine:
         drained = network.is_drained
         fault_report = None
         if injector is not None:
-            fault_report = injector.finalize(
-                network.cycle,
-                degraded=degraded_reason is not None,
-                reason=degraded_reason,
-            )
+            if finalize:
+                fault_report = injector.finalize(
+                    network.cycle,
+                    degraded=degraded_reason is not None,
+                    reason=degraded_reason,
+                )
+            else:
+                fault_report = injector.report
         windows = None
         if telemetry is not None:
-            telemetry.finish(network.cycle)
+            if finalize:
+                telemetry.finish(network.cycle)
             windows = tuple(telemetry.records)
         if meter is not None:
             meter.finish(
@@ -372,3 +400,30 @@ class EmulationEngine:
             faults=fault_report,
             windows=windows,
         )
+
+    def finalize_run(self, result: EngineResult) -> EngineResult:
+        """Close fault/telemetry bookkeeping after ``finalize=False``
+        chunks, without emulating another cycle.
+
+        Cuts the fault report's end window and closes the telemetry
+        collector's partial window at the current cycle — exactly
+        what a ``finalize=True`` run does at its own end — and
+        returns ``result`` with the finalized report and window tuple
+        swapped in.
+        """
+        from dataclasses import replace
+
+        cycle = self.platform.cycle
+        fault_report = result.faults
+        if self._injector is not None:
+            degraded = getattr(result, "degraded_reason", None)
+            fault_report = self._injector.finalize(
+                cycle,
+                degraded=degraded is not None,
+                reason=degraded,
+            )
+        windows = result.windows
+        if self.telemetry is not None:
+            self.telemetry.finish(cycle)
+            windows = tuple(self.telemetry.records)
+        return replace(result, faults=fault_report, windows=windows)

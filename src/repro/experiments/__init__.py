@@ -44,8 +44,13 @@ from repro.experiments.runner import (
     ScenarioResult,
     SweepRunner,
     SweepStats,
+    WarmResult,
+    make_ramp_checkpoint,
+    run_cold_point,
     run_scenario,
     run_sweep,
+    run_warm_point,
+    warm_point_key,
 )
 from repro.experiments.spec import ScenarioSpec, Sweep
 
@@ -57,12 +62,17 @@ __all__ = [
     "Sweep",
     "SweepRunner",
     "SweepStats",
+    "WarmResult",
     "aggregate",
+    "make_ramp_checkpoint",
     "percentile",
     "render_table",
     "rows_from_results",
+    "run_cold_point",
     "run_scenario",
     "run_sweep",
+    "run_warm_point",
+    "warm_point_key",
     "to_csv",
     "to_json",
 ]

@@ -90,6 +90,35 @@ class ResultCache:
         except OSError:
             return None
 
+    def get_record(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored record under an explicit ``key``, or None.
+
+        The raw-key twin of :meth:`get` for records whose key is not
+        a bare spec hash — warm-started sweep points fold the ramp
+        checkpoint's content hash into their key, so warm and cold
+        runs of the same spec cache separately.  Same degradation
+        rules: corruption, schema drift or a key mismatch read as a
+        miss, never as an error.
+        """
+        raw = self.get_bytes(key)
+        if raw is None:
+            return None
+        try:
+            record = json.loads(raw)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(record, dict):
+            return None
+        from repro.experiments.runner import RECORD_SCHEMA
+
+        if record.get("schema") != RECORD_SCHEMA:
+            return None
+        if record.get("key") != key:
+            return None
+        if not isinstance(record.get("metrics"), dict):
+            return None
+        return record
+
     # ------------------------------------------------------------------
     # Store
     # ------------------------------------------------------------------
@@ -102,10 +131,21 @@ class ResultCache:
                 f"record key {record.get('key')!r} does not match spec"
                 f" key {spec.key!r}"
             )
-        path = self.path_for(spec.key)
+        return self.put_record(spec.key, record)
+
+    def put_record(
+        self, key: str, record: Mapping[str, Any]
+    ) -> str:
+        """Atomically persist a record under an explicit ``key``."""
+        if record.get("key") != key:
+            raise ValueError(
+                f"record key {record.get('key')!r} does not match"
+                f" cache key {key!r}"
+            )
+        path = self.path_for(key)
         blob = _canonical(record)
         fd, tmp = tempfile.mkstemp(
-            dir=self.root, prefix=f".{spec.key}.", suffix=".tmp"
+            dir=self.root, prefix=f".{key}.", suffix=".tmp"
         )
         try:
             with os.fdopen(fd, "wb") as fh:

@@ -288,6 +288,66 @@ class SweepRunner:
                 self._tick(total, results[i])
         return len(pending)
 
+    # ------------------------------------------------------------------
+    def run_warm(
+        self,
+        checkpoint,
+        loads: Sequence[float],
+        max_cycles: int,
+    ) -> List["WarmResult"]:
+        """Warm-started load sweep: one restore fork per point.
+
+        ``checkpoint`` is a ramp checkpoint from
+        :func:`make_ramp_checkpoint`; every point resumes it, applies
+        its load (uniform traffic only) and measures ``max_cycles``.
+        Cache keys fold the checkpoint's content hash in
+        (:func:`warm_point_key`), so warm records never collide with
+        cold spec-keyed records.  Runs in-process regardless of
+        ``workers`` — a restore is far cheaper than a ramp, so the
+        pool's serialization overhead would dominate.
+        """
+        started = time.perf_counter()
+        spec = checkpoint.spec
+        cp_hash = checkpoint.content_hash
+        total = len(loads)
+        self._done = 0
+        results: List[WarmResult] = []
+        executed = cached = 0
+        for load in loads:
+            key = warm_point_key(spec, cp_hash, load, max_cycles)
+            if self.cache is not None:
+                record = self.cache.get_record(key)
+                if record is not None:
+                    warm = record.get("warm", {})
+                    result = WarmResult(
+                        spec=spec,
+                        checkpoint_hash=warm.get(
+                            "checkpoint", cp_hash
+                        ),
+                        load=load,
+                        max_cycles=max_cycles,
+                        metrics=dict(record["metrics"]),
+                        cached=True,
+                    )
+                    results.append(result)
+                    cached += 1
+                    self._tick(total, result)
+                    continue
+            result = run_warm_point(checkpoint, load, max_cycles)
+            if self.cache is not None:
+                self.cache.put_record(key, result.record())
+            results.append(result)
+            executed += 1
+            self._tick(total, result)
+        self.last_stats = SweepStats(
+            scenarios=total,
+            executed=executed,
+            cached=cached,
+            wall_seconds=time.perf_counter() - started,
+            workers=1,
+        )
+        return results
+
 
 def run_sweep(
     specs: Sequence[ScenarioSpec],
@@ -299,3 +359,201 @@ def run_sweep(
     return SweepRunner(
         workers=workers, cache=cache, progress=progress
     ).run(specs)
+
+
+# ----------------------------------------------------------------------
+# Warm-started sweeps
+# ----------------------------------------------------------------------
+#
+# A load sweep re-emulates the same warm-up transient once per point.
+# With checkpoint/restore, the shared prefix is emulated *once*: ramp
+# the spec to steady state, snapshot, then fork one restore per sweep
+# point and mutate only the generators' emission interval before the
+# measurement horizon.  The fork is bit-identical to running the same
+# ramp cold (resume parity), so warm and cold executions of one point
+# produce the same metric record — they cache separately only because
+# the warm key folds the checkpoint's content hash in, and collapse to
+# the same numbers whenever the checkpoint genuinely is the cold
+# prefix.
+#
+# Changing ``ScenarioSpec.load`` or ``packets`` would change the spec
+# hash and with it every derived generator seed — a *different*
+# scenario, not a warm continuation.  The warm path therefore keeps
+# the spec (and its RNG streams) fixed and varies the operating point
+# by re-deriving the uniform models' emission interval, exactly the
+# quantity ``interval_for_load`` computes at build time.
+
+
+def make_ramp_checkpoint(spec: ScenarioSpec, ramp_cycles: int):
+    """Emulate ``spec`` for ``ramp_cycles`` and checkpoint the state.
+
+    The run is a ``finalize=False`` chunk (telemetry/fault books stay
+    open), so restores continue it bit-identically.  Use an unbounded
+    spec (``packets=None``) so the ramp never exhausts its budget.
+    """
+    import itertools
+
+    import repro.noc.flit as flit_mod
+    from repro.checkpoint import snapshot
+
+    flit_mod._packet_ids = itertools.count()
+    platform = build_platform(spec.to_platform_config())
+    telemetry = None
+    if spec.telemetry_windows is not None:
+        from repro.telemetry.windows import WindowedMetrics
+
+        telemetry = WindowedMetrics(platform, spec.telemetry_windows)
+    engine = EmulationEngine(
+        platform, faults=spec.faults, telemetry=telemetry
+    )
+    engine.run(max_cycles=ramp_cycles, finalize=False)
+    return snapshot(platform, spec, engine)
+
+
+def _apply_point_load(platform, load: float) -> None:
+    """Re-derive every uniform generator's emission interval for
+    ``load`` flits/cycle/node, as ``make_traffic_model`` derives it at
+    build time.  Only the uniform family has a load-equivalent
+    interval; other families raise."""
+    from repro.traffic.base import interval_for_load
+    from repro.traffic.uniform import UniformTraffic
+
+    for gen in platform.generators:
+        model = gen.model
+        if not isinstance(model, UniformTraffic):
+            raise ConfigError(
+                f"warm-start load sweeps need uniform traffic; TG at"
+                f" node {gen.node} runs {type(model).__name__}"
+            )
+        interval = interval_for_load(
+            model._length_range[1], load
+        )
+        model._interval_range = (interval, interval)
+
+
+def warm_point_key(
+    spec: ScenarioSpec,
+    checkpoint_hash: str,
+    load: float,
+    max_cycles: int,
+) -> str:
+    """Cache key of one warm-started point.
+
+    Folds the ramp checkpoint's content hash in, so warm results can
+    never shadow (or be shadowed by) cold spec-keyed records, and two
+    different ramps cache separately.
+    """
+    import hashlib
+    import json
+
+    payload = {
+        "schema": RECORD_SCHEMA,
+        "spec_key": spec.key,
+        "checkpoint": checkpoint_hash,
+        "point": {"load": load, "max_cycles": max_cycles},
+    }
+    blob = json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class WarmResult:
+    """One warm-started sweep point: provenance plus metrics."""
+
+    spec: ScenarioSpec
+    checkpoint_hash: str
+    load: float
+    max_cycles: int
+    metrics: Mapping[str, Any]
+    wall_seconds: float = 0.0
+    cached: bool = False
+
+    @property
+    def key(self) -> str:
+        return warm_point_key(
+            self.spec, self.checkpoint_hash, self.load,
+            self.max_cycles,
+        )
+
+    def record(self) -> Dict[str, Any]:
+        """Canonical deterministic form: what the cache stores."""
+        return {
+            "schema": RECORD_SCHEMA,
+            "key": self.key,
+            "spec": self.spec.to_dict(),
+            "warm": {
+                "checkpoint": self.checkpoint_hash,
+                "load": self.load,
+                "max_cycles": self.max_cycles,
+            },
+            "metrics": dict(self.metrics),
+        }
+
+
+def run_warm_point(
+    checkpoint, load: float, max_cycles: int
+) -> WarmResult:
+    """Fork one restore off ``checkpoint`` and measure ``max_cycles``
+    at operating point ``load``."""
+    from repro.checkpoint import restore
+    from repro.stats.summary import scenario_metrics
+
+    started = time.perf_counter()
+    platform, engine = restore(checkpoint)
+    _apply_point_load(platform, load)
+    result = engine.run(max_cycles=max_cycles)
+    metrics = scenario_metrics(platform, result)
+    return WarmResult(
+        spec=checkpoint.spec,
+        checkpoint_hash=checkpoint.content_hash,
+        load=load,
+        max_cycles=max_cycles,
+        metrics=metrics,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+def run_cold_point(
+    spec: ScenarioSpec,
+    ramp_cycles: int,
+    load: float,
+    max_cycles: int,
+) -> WarmResult:
+    """The cold twin of one warm point: re-emulate the whole ramp,
+    then the measurement horizon, with no checkpoint involved.
+
+    By resume parity its metrics are bit-identical to
+    :func:`run_warm_point` on a checkpoint of the same ramp — the
+    bench pins that claim — and its wall clock prices what the warm
+    path saves (``checkpoint_hash`` is empty: nothing was restored).
+    """
+    import itertools
+
+    import repro.noc.flit as flit_mod
+    from repro.stats.summary import scenario_metrics
+
+    started = time.perf_counter()
+    flit_mod._packet_ids = itertools.count()
+    platform = build_platform(spec.to_platform_config())
+    telemetry = None
+    if spec.telemetry_windows is not None:
+        from repro.telemetry.windows import WindowedMetrics
+
+        telemetry = WindowedMetrics(platform, spec.telemetry_windows)
+    engine = EmulationEngine(
+        platform, faults=spec.faults, telemetry=telemetry
+    )
+    engine.run(max_cycles=ramp_cycles, finalize=False)
+    _apply_point_load(platform, load)
+    result = engine.run(max_cycles=max_cycles)
+    metrics = scenario_metrics(platform, result)
+    return WarmResult(
+        spec=spec,
+        checkpoint_hash="",
+        load=load,
+        max_cycles=max_cycles,
+        metrics=metrics,
+        wall_seconds=time.perf_counter() - started,
+    )
