@@ -6,15 +6,23 @@ bench refreshes its own record (and fails before overwriting it on a
 regression).  This driver makes the whole trajectory reproducible with
 a single command::
 
-    PYTHONPATH=src python benchmarks/run_all.py            # run + collect
+    PYTHONPATH=src python benchmarks/run_all.py            # lint + run + collect
     PYTHONPATH=src python benchmarks/run_all.py --list     # show the plan
     PYTHONPATH=src python benchmarks/run_all.py --only kernel,batch
     PYTHONPATH=src python benchmarks/run_all.py --collect-only
+    PYTHONPATH=src python benchmarks/run_all.py --lint-only
 
 It is deliberately a thin wrapper over ``pytest -m perf``: the benches
 keep owning their scenarios, floors and guards; this driver only
 selects them, runs them in one pytest session and prints the combined
 record summary afterwards.
+
+Before any bench runs, the driver runs the static analyzer (``repro
+lint src/repro --format json``, see ``repro.analysis``) and aborts on
+unsuppressed findings — a perf PR that breaks a determinism or
+checkpoint-coverage invariant fails here in seconds instead of after
+the full bench session.  ``--skip-lint`` bypasses the gate;
+``--lint-only`` runs just it and prints the JSON report.
 """
 
 from __future__ import annotations
@@ -94,6 +102,20 @@ def render_summary(records: Dict[str, dict]) -> str:
     return "\n".join(lines)
 
 
+def lint_gate() -> int:
+    """``repro lint src/repro --format json``: 0 clean, 1 findings."""
+    src_root = os.path.join(os.path.dirname(BENCH_DIR), "src")
+    try:
+        from repro.analysis import render_json, run_lint
+    except ImportError:
+        sys.path.insert(0, src_root)
+        from repro.analysis import render_json, run_lint
+
+    result = run_lint([os.path.join(src_root, "repro")])
+    print(render_json(result))
+    return 0 if result.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description=(
@@ -120,6 +142,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="skip running; just summarise the committed records",
     )
     parser.add_argument(
+        "--lint-only",
+        action="store_true",
+        help="run only the static-analysis gate and print its JSON report",
+    )
+    parser.add_argument(
+        "--skip-lint",
+        action="store_true",
+        help="skip the static-analysis gate before the benches",
+    )
+    parser.add_argument(
         "--pytest-args",
         default="",
         help="extra arguments forwarded to pytest (one string)",
@@ -136,6 +168,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         for path in benches:
             print(os.path.basename(path))
         return 0
+
+    if args.lint_only:
+        return lint_gate()
+    if not args.collect_only and not args.skip_lint:
+        lint_exit = lint_gate()
+        if lint_exit:
+            print(
+                "static-analysis gate failed; fix the findings (or"
+                " re-run with --skip-lint) before benching",
+                file=sys.stderr,
+            )
+            return lint_exit
 
     exit_code = 0
     if not args.collect_only:

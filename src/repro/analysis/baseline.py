@@ -1,0 +1,127 @@
+"""Checked-in baselines: deliberate exceptions that outlive lines.
+
+Pragmas suppress findings where the code is; a baseline suppresses
+findings *about* code that cannot carry a pragma — typically coverage
+gaps acknowledged during a migration, where the finding's line lives
+in one file but the fix belongs in another.  Entries match on
+``(rule, path-suffix, message)`` and deliberately *not* on line
+number, so unrelated edits above a baselined site do not resurrect
+its finding.
+
+The file is canonical JSON (sorted keys, no spaces) so diffs are
+stable and the encoder is the same
+:func:`repro.util.canonical_json` the rest of the tree uses::
+
+    {"entries":[{"message":"...","path":"...","rule":"..."}],"version":1}
+
+An entry that matches nothing is itself reported (rule
+``pragma-hygiene``): stale exceptions must be pruned, not hoarded.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Tuple
+
+from repro.analysis.findings import Finding
+from repro.util import canonical_json
+
+__all__ = [
+    "Baseline",
+    "BASELINE_VERSION",
+    "load_baseline",
+    "render_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+class Baseline:
+    """A set of accepted findings, matched by rule/path/message."""
+
+    def __init__(self, entries: List[Dict[str, str]]) -> None:
+        self.entries = entries
+        self._hits = [0] * len(entries)
+
+    def matches(self, finding: Finding) -> bool:
+        """True (and counted) when any entry accepts ``finding``."""
+        for idx, entry in enumerate(self.entries):
+            if entry["rule"] != finding.rule:
+                continue
+            if entry["message"] != finding.message:
+                continue
+            path = entry["path"]
+            if finding.path != path and not finding.path.endswith(
+                "/" + path
+            ):
+                continue
+            self._hits[idx] += 1
+            return True
+        return False
+
+    def stale_entries(self) -> List[Tuple[Dict[str, str], str]]:
+        """Entries that matched no finding, with a description."""
+        stale = []
+        for idx, entry in enumerate(self.entries):
+            if not self._hits[idx]:
+                stale.append(
+                    (
+                        entry,
+                        f"stale baseline entry: no current"
+                        f" [{entry['rule']}] finding in"
+                        f" {entry['path']} says {entry['message']!r}",
+                    )
+                )
+        return stale
+
+
+def _validate(record: Any, where: str) -> List[Dict[str, str]]:
+    if (
+        not isinstance(record, dict)
+        or record.get("version") != BASELINE_VERSION
+        or not isinstance(record.get("entries"), list)
+    ):
+        raise ValueError(
+            f"{where}: not a version-{BASELINE_VERSION} lint baseline"
+        )
+    entries = []
+    for entry in record["entries"]:
+        if not isinstance(entry, dict) or set(entry) != {
+            "rule",
+            "path",
+            "message",
+        }:
+            raise ValueError(
+                f"{where}: baseline entries need exactly the keys"
+                f" rule/path/message, got {entry!r}"
+            )
+        entries.append(
+            {key: str(entry[key]) for key in ("rule", "path", "message")}
+        )
+    return entries
+
+
+def load_baseline(path: str) -> Baseline:
+    """Read and validate a baseline file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        record = json.load(fh)
+    return Baseline(_validate(record, path))
+
+
+def render_baseline(findings: List[Finding]) -> str:
+    """The canonical baseline text accepting exactly ``findings``."""
+    entries = sorted(
+        {
+            (f.rule, f.path, f.message)
+            for f in findings
+        }
+    )
+    return canonical_json(
+        {
+            "version": BASELINE_VERSION,
+            "entries": [
+                {"rule": rule, "path": path, "message": message}
+                for rule, path, message in entries
+            ],
+        }
+    )

@@ -1,0 +1,38 @@
+"""The unit of lint output: one rule violation at one source line."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation.
+
+    ``path`` is the project-relative posix path of the offending
+    module and ``line`` the 1-based line of the AST node that
+    triggered the rule — which is where a suppressing pragma must sit
+    (same line, or a comment-only line directly above).
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.rule, self.message)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"

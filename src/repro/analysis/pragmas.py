@@ -1,0 +1,130 @@
+"""``# repro: allow[rule-id] reason`` pragma parsing.
+
+A pragma suppresses findings of one rule on one line:
+
+* as a trailing comment, it applies to its own line — the line of the
+  AST node the rule reported (a call's first line, a ``__slots__``
+  entry's line);
+* on a comment-only line, it applies to that line *and* to the next
+  line carrying code, so multi-line statements and annotated
+  ``__slots__`` entries can be suppressed from directly above.
+
+The reason is not optional: ``allow[wall-clock]`` with nothing after
+the bracket is reported by the ``pragma-hygiene`` rule, as is an
+``allow[...]`` naming a rule that does not exist.  Malformed spellings
+that almost match (``# repro allow[...]``, ``# Repro: allow [...]``)
+are reported too — a typo must fail loudly, not silently re-enable
+the finding it meant to suppress.
+
+Comments are found with :mod:`tokenize`, not a line regex, so pragma
+text inside string literals (this docstring, test fixtures) is never
+mistaken for a live suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, Iterator, List, Tuple
+
+__all__ = ["PragmaSet", "parse_pragmas"]
+
+#: The canonical spelling.  Reason = everything after the bracket.
+_PRAGMA = re.compile(
+    r"#\s*repro:\s*allow\[([A-Za-z0-9_-]+)\]([^#]*)"
+)
+
+#: Near-miss detector: a comment mentioning ``repro`` and an
+#: ``allow[...]`` bracket that the canonical pattern did not match.
+_NEAR_MISS = re.compile(
+    r"#.*\brepro\b.*allow\s*\[", re.IGNORECASE
+)
+
+
+class PragmaSet:
+    """Parsed pragmas of one module.
+
+    ``allow`` maps a 1-based line number to ``{rule_id: reason}``;
+    ``problems`` is a list of ``(line, message)`` pairs for the
+    ``pragma-hygiene`` rule (missing reasons, near-miss spellings —
+    unknown rule ids are detected later, against the live registry).
+    """
+
+    def __init__(self) -> None:
+        self.allow: Dict[int, Dict[str, str]] = {}
+        self.problems: List[Tuple[int, str]] = []
+
+    def allows(self, line: int, rule_id: str) -> bool:
+        return rule_id in self.allow.get(line, ())
+
+    def _add(self, line: int, rule_id: str, reason: str) -> None:
+        self.allow.setdefault(line, {})[rule_id] = reason
+
+
+def _comment_only(line: str) -> bool:
+    return line.strip().startswith("#")
+
+
+def _blank(line: str) -> bool:
+    return not line.strip()
+
+
+def _comments(text: str, lines: List[str]) -> Iterator[Tuple[int, str]]:
+    """Yield ``(lineno, comment_text)`` for every real comment.
+
+    Tokenization keeps string literals out; if the source does not
+    tokenize (fixtures with syntax errors), fall back to a plain line
+    scan — over-matching beats silently dropping suppressions.
+    """
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(text).readline)
+        )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for idx, line in enumerate(lines):
+            if "#" in line:
+                yield idx + 1, line[line.index("#"):]
+        return
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            yield tok.start[0], tok.string
+
+
+def parse_pragmas(text: str, lines: List[str]) -> PragmaSet:
+    """Extract every allow-pragma from a module's source."""
+    pragmas = PragmaSet()
+    for lineno, comment in _comments(text, lines):
+        matches = list(_PRAGMA.finditer(comment))
+        if not matches:
+            if _NEAR_MISS.search(comment):
+                pragmas.problems.append(
+                    (
+                        lineno,
+                        "comment looks like a suppression but does not"
+                        " match '# repro: allow[rule-id] reason'",
+                    )
+                )
+            continue
+        for match in matches:
+            rule_id = match.group(1)
+            reason = match.group(2).strip()
+            if not reason:
+                pragmas.problems.append(
+                    (
+                        lineno,
+                        f"allow[{rule_id}] has no reason — every"
+                        f" suppression must say why it is safe",
+                    )
+                )
+            pragmas._add(lineno, rule_id, reason)
+            idx = lineno - 1
+            if idx < len(lines) and _comment_only(lines[idx]):
+                # Comment-only pragma: also covers the next line that
+                # carries code (skipping blanks and other comments).
+                for j in range(idx + 1, len(lines)):
+                    if _blank(lines[j]) or _comment_only(lines[j]):
+                        continue
+                    pragmas._add(j + 1, rule_id, reason)
+                    break
+    return pragmas

@@ -1,0 +1,58 @@
+"""Rendering lint results: human text and stable-schema JSON.
+
+The JSON schema is versioned and covered by a schema-stability test
+(``tests/analysis/test_reporters.py``); tools parsing ``repro lint
+--format json`` may rely on exactly these keys::
+
+    {
+      "schema": 1,
+      "ok": bool,
+      "files": int,
+      "rules": [rule-id, ...],
+      "findings": [{"rule", "path", "line", "message"}, ...],
+      "suppressed": int
+    }
+
+Output is canonical JSON (sorted keys, compact separators) via the
+shared :func:`repro.util.canonical_json` encoder, so identical trees
+produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import LintResult
+from repro.util import canonical_json
+
+__all__ = ["LINT_REPORT_SCHEMA", "render_json", "render_text"]
+
+LINT_REPORT_SCHEMA = 1
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [finding.render() for finding in result.findings]
+    if verbose:
+        for finding, how in result.suppressed:
+            lines.append(f"suppressed ({how}): {finding.render()}")
+    noun = "finding" if len(result.findings) == 1 else "findings"
+    lines.append(
+        f"{len(result.findings)} {noun}"
+        f" ({len(result.suppressed)} suppressed)"
+        f" in {result.files} files"
+        f" across {len(result.rules)} rules"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """The versioned machine-readable report (canonical JSON)."""
+    return canonical_json(
+        {
+            "schema": LINT_REPORT_SCHEMA,
+            "ok": result.ok,
+            "files": result.files,
+            "rules": list(result.rules),
+            "findings": [f.to_dict() for f in result.findings],
+            "suppressed": len(result.suppressed),
+        }
+    )

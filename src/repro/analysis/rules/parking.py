@@ -1,0 +1,186 @@
+"""``parking-wake``: every park must register the event that unparks it.
+
+The event kernel's cardinal invariant: a parked component is *off the
+scan lists* and only runs again when the event it parked on fires.
+Parking without arming that event is a silent hang — the input sits
+parked forever while the drain-timeout machinery eventually aborts
+the run.  Three park sites exist, each with its own wake protocol:
+
+switch inputs (``self._park_input(i, now, head, credit)``)
+    A park on a blocked *head* flit (3rd argument not ``None``) must
+    be followed — within the next two statements of the same block —
+    by appending the input to the output's ``credit_waiters`` or
+    ``lock_waiters`` list.  A ``None`` head is the store-and-forward
+    accumulation case: the wake is the arrival of the packet's own
+    remaining flits, no waiter list involved.
+
+network interfaces (``ni._park(now)``)
+    Only legal inside an ``if`` that tested the NI's ``_credits``:
+    the credit-return path is the implicit waker, so parking on any
+    other condition would never be woken.
+
+generators (``self._bp_since = <cycle>``)
+    Opening a backpressure stretch must be paired with
+    ``watch_drain(...)`` later in the same block, which re-polls the
+    generator when the NI queue drains below its limit.
+
+The rule is syntactic and local by design — it checks call *sites*,
+matching how the invariant is maintained in practice (wake
+registration sits immediately next to the park).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project
+from repro.analysis.rules import Rule
+
+__all__ = ["ParkingWakeRule"]
+
+_WAITER_LISTS = {"credit_waiters", "lock_waiters"}
+
+
+def _is_none(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def _registers_waiter(stmt: ast.stmt) -> bool:
+    """``<x>.credit_waiters.append(...)`` / lock_waiters ditto."""
+    for node in ast.walk(stmt):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "append"
+            and isinstance(node.func.value, ast.Attribute)
+            and node.func.value.attr in _WAITER_LISTS
+        ):
+            return True
+    return False
+
+
+def _calls_watch_drain(stmt: ast.stmt) -> bool:
+    for node in ast.walk(stmt):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "watch_drain"
+        ):
+            return True
+    return False
+
+
+def _reads_credits(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr == "_credits":
+            return True
+    return False
+
+
+def _statement_lists(tree: ast.AST) -> Iterator[List[ast.stmt]]:
+    for node in ast.walk(tree):
+        for field in ("body", "orelse", "finalbody"):
+            block = getattr(node, field, None)
+            if isinstance(block, list) and block and isinstance(
+                block[0], ast.stmt
+            ):
+                yield block
+
+
+class ParkingWakeRule(Rule):
+    id = "parking-wake"
+    description = (
+        "a park site must register its wake path: waiter-list append"
+        " for switch inputs, a _credits guard for NI parks,"
+        " watch_drain for generator backpressure"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project:
+            yield from self._check_module(module)
+
+    def _check_module(self, module) -> Iterator[Finding]:
+        tree = module.tree
+        # NI parks: collect every `<x>._park(...)` call, then strike
+        # out those under an `if` whose test read `_credits`.
+        park_calls = []
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "_park"
+            ):
+                park_calls.append(node)
+        guarded = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.If) and _reads_credits(node.test):
+                for sub in ast.walk(node):
+                    if sub in park_calls:
+                        guarded.add(id(sub))
+        for call in park_calls:
+            if id(call) not in guarded:
+                yield self.finding(
+                    module,
+                    call.lineno,
+                    "._park() outside an `if ... _credits ...` guard:"
+                    " nothing will return a credit to wake this NI",
+                )
+        # Switch-input parks and generator backpressure stretches are
+        # block-local patterns.
+        for block in _statement_lists(tree):
+            for idx, stmt in enumerate(block):
+                yield from self._check_park_input(module, block, idx)
+                yield from self._check_bp_since(module, block, idx)
+
+    def _check_park_input(
+        self, module, block: List[ast.stmt], idx: int
+    ) -> Iterator[Finding]:
+        stmt = block[idx]
+        if not (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Call)
+            and isinstance(stmt.value.func, ast.Attribute)
+            and stmt.value.func.attr == "_park_input"
+        ):
+            return
+        call = stmt.value
+        head = call.args[2] if len(call.args) > 2 else None
+        if head is None or _is_none(head):
+            return  # store-and-forward accumulation: no waiter list
+        if any(
+            _registers_waiter(later) for later in block[idx + 1:idx + 3]
+        ):
+            return
+        yield self.finding(
+            module,
+            stmt.lineno,
+            "_park_input() with a blocked head flit but no"
+            " credit_waiters/lock_waiters registration in the next"
+            " two statements: this input would never wake",
+        )
+
+    def _check_bp_since(
+        self, module, block: List[ast.stmt], idx: int
+    ) -> Iterator[Finding]:
+        stmt = block[idx]
+        if not isinstance(stmt, ast.Assign):
+            return
+        opens = any(
+            isinstance(t, ast.Attribute) and t.attr == "_bp_since"
+            for t in stmt.targets
+        )
+        if not opens or _is_none(stmt.value):
+            return
+        if any(
+            _calls_watch_drain(later) for later in block[idx + 1:]
+        ):
+            return
+        yield self.finding(
+            module,
+            stmt.lineno,
+            "opening a backpressure stretch (_bp_since = ...) without"
+            " a watch_drain(...) registration in the same block: the"
+            " generator would never be polled again",
+        )

@@ -1,0 +1,79 @@
+"""``settle-on-read``: raw parked-stall counters stay behind properties.
+
+The event kernel parks idle inputs/NIs/generators and back-fills
+their stall counters lazily when they wake ("settle").  Between park
+and settle the raw backing fields (``_blocked_flit_cycles``,
+``_credit_stall_cycles``, ``_stall_cycles``, ``_backpressure_cycles``)
+under-report by the still-open parked stretch; only the settle-on-read
+properties (``blocked_flit_cycles``, ``stall_cycles``,
+``backpressure_cycles``, ``stats_snapshot()``) add the pending delta
+back.  A raw read outside the owning module is therefore a
+mid-parked-stretch data race against the wake machinery — the classic
+"telemetry counted fewer stalls than the reference kernel" bug this
+repo has fixed more than once.
+
+The rule flags any attribute access to a listed field outside its
+owner module(s).  ``checkpoint/capture.py`` and
+``checkpoint/restore.py`` are sanctioned everywhere: checkpoints run
+at a settled boundary by construction and must see the raw fields.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project
+from repro.analysis.rules import Rule
+
+__all__ = ["SettleOnReadRule"]
+
+#: Raw field -> module suffixes owning (and allowed to touch) it.
+RAW_FIELD_OWNERS: Dict[str, Tuple[str, ...]] = {
+    "_blocked_flit_cycles": ("repro/noc/switch.py",),
+    "_credit_stall_cycles": ("repro/noc/switch.py",),
+    # The network's inlined NI-inject fast path co-owns the NI stall
+    # counter (it bumps it in place of ni.step).
+    "_stall_cycles": ("repro/noc/ni.py", "repro/noc/network.py"),
+    "_backpressure_cycles": ("repro/traffic/generator.py",),
+    # The open-stretch marker itself: reading it raw outside the
+    # generator races the same settlement the counters do.
+    "_bp_since": ("repro/traffic/generator.py",),
+}
+
+#: Checkpoint code snapshots/rebuilds raw state at settled boundaries.
+SANCTIONED = (
+    "repro/checkpoint/capture.py",
+    "repro/checkpoint/restore.py",
+)
+
+
+class SettleOnReadRule(Rule):
+    id = "settle-on-read"
+    description = (
+        "raw parked-stall backing fields may only be touched by their"
+        " owner module; read the settle-on-read property instead"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project:
+            if any(module.matches(s) for s in SANCTIONED):
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Attribute):
+                    continue
+                owners = RAW_FIELD_OWNERS.get(node.attr)
+                if owners is None:
+                    continue
+                if any(module.matches(owner) for owner in owners):
+                    continue
+                prop = node.attr.lstrip("_")
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"raw field {node.attr} under-reports while"
+                    f" parked; use the settle-on-read property"
+                    f" {prop!r} (or stats_snapshot()) outside"
+                    f" {', '.join(owners)}",
+                )

@@ -1,0 +1,259 @@
+"""``state-coverage``: checkpoints must cover every mutable field.
+
+Checkpoint/restore (PR 8) round-trips the platform bit-identically —
+but only for the state it knows about.  The historical failure mode
+of hand-enumerated snapshots is the *silently missing field*: someone
+adds ``_new_counter`` to ``Switch.__slots__``, every existing test
+passes (fresh runs never notice), and weeks later a warm-started
+sweep diverges from its cold twin.  This rule closes that hole
+statically:
+
+1. Enumerate the mutable state of every platform-reachable class in
+   ``noc/``, ``traffic/``, ``faults/`` and ``telemetry/`` — its
+   ``__slots__`` entries, its dataclass fields, or (lacking both) its
+   ``self.x = ...`` assignments in ``__init__``.
+2. Collect the attribute names ``checkpoint/capture.py`` reads
+   (attribute access + ``getattr`` literals) and the names
+   ``checkpoint/restore.py`` writes (attribute access + constructor
+   keyword arguments).  When capture delegates to a checked class's
+   own ``to_dict()`` (record dataclasses like ``WindowRecord``), the
+   ``self.<field>`` reads inside that method count as captured — the
+   method is honorary capture code.
+3. A field not in the *intersection* is a finding: deleting a
+   captured field from ``capture.py`` alone, or adding a slot without
+   restore support, both fail the gate.
+
+Matching is by *name*, not by type — the checker has no type
+inference, so a field name read anywhere in ``capture.py`` counts as
+captured for every class owning that name.  That approximation leans
+safe-by-convention (this codebase names state distinctly per class)
+and keeps the rule dependency-free.  Structural fields a checkpoint
+deliberately rebuilds (wiring, callbacks, caches) carry per-line
+``# repro: allow[state-coverage] reason`` pragmas — the reason string
+is the documentation of *why* the field needs no serialization.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project
+from repro.analysis.rules import Rule
+
+__all__ = ["StateCoverageRule", "CHECKED_CLASSES"]
+
+CAPTURE_MODULE = "repro/checkpoint/capture.py"
+RESTORE_MODULE = "repro/checkpoint/restore.py"
+
+#: Module suffix -> platform-reachable classes whose state must be
+#: checkpointed.  Structural families (topology, routing) are rebuilt
+#: from the spec and deliberately absent.
+CHECKED_CLASSES: Dict[str, Tuple[str, ...]] = {
+    "repro/noc/switch.py": ("Switch", "_OutputPort"),
+    "repro/noc/ni.py": ("NetworkInterface", "ReassemblyBuffer"),
+    "repro/noc/link.py": ("Link",),
+    "repro/noc/buffer.py": ("FlitBuffer",),
+    "repro/noc/flit.py": ("Packet", "Flit"),
+    "repro/noc/network.py": ("Network",),
+    "repro/noc/arbiter.py": (
+        "Arbiter",
+        "FixedPriorityArbiter",
+        "RoundRobinArbiter",
+        "MatrixArbiter",
+    ),
+    "repro/traffic/generator.py": ("TrafficGenerator",),
+    "repro/traffic/base.py": ("TrafficModel",),
+    "repro/traffic/uniform.py": ("UniformTraffic",),
+    "repro/traffic/poisson.py": ("PoissonTraffic",),
+    "repro/traffic/burst.py": ("BurstTraffic",),
+    "repro/traffic/onoff.py": ("OnOffTraffic",),
+    "repro/traffic/trace.py": ("TraceTraffic",),
+    "repro/traffic/rng.py": ("Lfsr32", "LfsrRandom"),
+    "repro/faults/injector.py": ("FaultInjector",),
+    "repro/faults/report.py": (
+        "FaultReport",
+        "FaultEventRecord",
+        "FaultWindow",
+    ),
+    "repro/telemetry/windows.py": ("WindowedMetrics", "WindowRecord"),
+}
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = (
+            target.attr
+            if isinstance(target, ast.Attribute)
+            else getattr(target, "id", None)
+        )
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _is_classvar(annotation: ast.AST) -> bool:
+    for sub in ast.walk(annotation):
+        if isinstance(sub, ast.Name) and sub.id == "ClassVar":
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr == "ClassVar":
+            return True
+    return False
+
+
+def class_fields(node: ast.ClassDef) -> List[Tuple[str, int]]:
+    """``(field, line)`` pairs of one class's mutable state.
+
+    Priority: ``__slots__`` entries (each on its own line in this
+    codebase, so pragmas attach per entry), else dataclass fields,
+    else ``self.x = ...`` targets in ``__init__``.
+    """
+    slots: List[Tuple[str, int]] = []
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__slots__"
+            for t in stmt.targets
+        ):
+            if isinstance(stmt.value, (ast.Tuple, ast.List)):
+                for element in stmt.value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(
+                        element.value, str
+                    ):
+                        slots.append((element.value, element.lineno))
+    if slots:
+        return slots
+    if _is_dataclass_decorated(node):
+        fields = []
+        for stmt in node.body:
+            if (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and not _is_classvar(stmt.annotation)
+            ):
+                fields.append((stmt.target.id, stmt.lineno))
+        return fields
+    fields = []
+    seen: Set[str] = set()
+    for stmt in node.body:
+        if (
+            isinstance(stmt, ast.FunctionDef)
+            and stmt.name == "__init__"
+        ):
+            for sub in ast.walk(stmt):
+                targets: List[ast.expr] = []
+                if isinstance(sub, ast.Assign):
+                    targets = sub.targets
+                elif isinstance(sub, (ast.AnnAssign, ast.AugAssign)):
+                    targets = [sub.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and target.attr not in seen
+                    ):
+                        seen.add(target.attr)
+                        fields.append((target.attr, target.lineno))
+    return fields
+
+
+def _to_dict_reads(node: ast.ClassDef) -> Set[str]:
+    """``self.<attr>`` reads inside the class's ``to_dict`` method."""
+    names: Set[str] = set()
+    for stmt in node.body:
+        if (
+            isinstance(stmt, ast.FunctionDef)
+            and stmt.name == "to_dict"
+        ):
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.Attribute)
+                    and isinstance(sub.value, ast.Name)
+                    and sub.value.id == "self"
+                ):
+                    names.add(sub.attr)
+    return names
+
+
+def _attribute_names(tree: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("getattr", "setattr", "hasattr")
+            and len(node.args) >= 2
+            and isinstance(node.args[1], ast.Constant)
+            and isinstance(node.args[1].value, str)
+        ):
+            names.add(node.args[1].value)
+    return names
+
+
+def _keyword_names(tree: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            for keyword in node.keywords:
+                if keyword.arg is not None:
+                    names.add(keyword.arg)
+    return names
+
+
+class StateCoverageRule(Rule):
+    id = "state-coverage"
+    description = (
+        "every mutable field of a platform-reachable class must be"
+        " read by checkpoint/capture.py and written by"
+        " checkpoint/restore.py (or carry a pragma saying why it is"
+        " rebuilt instead)"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        capture = project.module(CAPTURE_MODULE)
+        restore = project.module(RESTORE_MODULE)
+        if capture is None or restore is None:
+            # A partial lint (single files) cannot evaluate coverage;
+            # the tier-1 gate always runs over the whole tree.
+            return
+        captured = _attribute_names(capture.tree)
+        restored = _attribute_names(restore.tree) | _keyword_names(
+            restore.tree
+        )
+        for suffix, class_names in sorted(CHECKED_CLASSES.items()):
+            module = project.module(suffix)
+            if module is None:
+                continue
+            for node in ast.walk(module.tree):
+                if (
+                    not isinstance(node, ast.ClassDef)
+                    or node.name not in class_names
+                ):
+                    continue
+                class_captured = captured
+                if "to_dict" in captured:
+                    # Capture delegates to <instance>.to_dict(): the
+                    # method's own field reads are capture coverage.
+                    class_captured = captured | _to_dict_reads(node)
+                for field, line in class_fields(node):
+                    missing = []
+                    if field not in class_captured:
+                        missing.append(
+                            "not read by checkpoint/capture.py"
+                        )
+                    if field not in restored:
+                        missing.append(
+                            "not written by checkpoint/restore.py"
+                        )
+                    if missing:
+                        yield self.finding(
+                            module,
+                            line,
+                            f"{node.name}.{field} is mutable state"
+                            f" {' and '.join(missing)}; checkpoint it"
+                            f" or pragma why it is rebuilt",
+                        )

@@ -97,9 +97,9 @@ def _measure_tlm(packets_per_flow: int) -> EngineMeasurement:
     sim = TlmPlatformSim(
         topo, routing, build_packet_schedule(packets_per_flow)
     )
-    started = time.perf_counter()
+    started = time.perf_counter()  # repro: allow[wall-clock] benchmark harness measures host speed by design
     cycles = sim.run_until_drained()
-    wall = time.perf_counter() - started
+    wall = time.perf_counter() - started  # repro: allow[wall-clock] benchmark harness measures host speed by design
     return EngineMeasurement(
         name="repro TLM engine (SystemC-like)",
         cycles=cycles,
@@ -117,9 +117,9 @@ def _measure_rtl(packets_per_flow: int) -> EngineMeasurement:
     sim = RtlPlatformSim(
         topo, routing, build_packet_schedule(packets_per_flow)
     )
-    started = time.perf_counter()
+    started = time.perf_counter()  # repro: allow[wall-clock] benchmark harness measures host speed by design
     cycles = sim.run_until_drained()
-    wall = time.perf_counter() - started
+    wall = time.perf_counter() - started  # repro: allow[wall-clock] benchmark harness measures host speed by design
     return EngineMeasurement(
         name="repro RTL engine (event-driven)",
         cycles=cycles,

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from repro.experiments.spec import ScenarioSpec
+from repro.util import canonical_json_bytes
 
 from .errors import (
     CheckpointCorruptError,
@@ -47,9 +48,7 @@ CHECKPOINT_SCHEMA = 1
 
 
 def _canonical(payload: Any) -> bytes:
-    return json.dumps(
-        payload, sort_keys=True, separators=(",", ":")
-    ).encode("utf-8")
+    return canonical_json_bytes(payload)
 
 
 @dataclass(frozen=True)

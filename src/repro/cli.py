@@ -53,6 +53,36 @@ Checkpoint flags of ``run`` (see ``repro.checkpoint``)::
   describe the *same* spec (guarded by a content-hash check), and the
   checkpoint's own fault schedule and telemetry are restored with it,
   so ``--fail-*``/``--heal-*``/``--windows`` are rejected.
+
+Static analysis (see ``repro.analysis``)::
+
+    python -m repro lint
+    python -m repro lint src/repro --format json
+    python -m repro lint --rule state-coverage --rule wall-clock
+    python -m repro lint --list-rules
+
+``lint`` runs the determinism/invariant checker over Python sources
+and exits 1 if any unsuppressed finding remains (2 on usage errors,
+e.g. an unknown rule id).  Flags:
+
+* ``PATHS`` — files and/or directories to check; defaults to the
+  installed ``repro`` package, so a bare ``repro lint`` checks the
+  whole reproduction source.
+* ``--format {text,json}`` — human-readable lines (default) or the
+  versioned machine-readable report
+  (``repro.analysis.reporters.LINT_REPORT_SCHEMA``).
+* ``--rule ID`` — run only the named rule (repeatable); see
+  ``--list-rules`` for the catalogue.
+* ``--baseline FILE`` — accept the findings recorded in a checked-in
+  baseline (stale entries are themselves reported).
+* ``--list-rules`` — print every rule id with its description.
+* ``--verbose`` — also print suppressed findings and what suppressed
+  them (pragma reason or baseline).
+
+Findings are suppressed in code with ``# repro: allow[rule-id]
+reason`` on the offending line (or a comment-only line directly
+above); see ``ROADMAP.md``'s "Static analysis" section for the rule
+catalogue and the pragma/baseline policy.
 """
 
 from __future__ import annotations
@@ -487,11 +517,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     if result.faults is not None:
         print(_fault_summary(result.faults))
     if args.windows_out:
-        import json
+        from repro.util import canonical_json
 
         with open(args.windows_out, "w", encoding="utf-8") as fh:
-            json.dump(
-                [w.to_dict() for w in result.windows or ()], fh
+            fh.write(
+                canonical_json(
+                    [w.to_dict() for w in result.windows or ()]
+                )
             )
             fh.write("\n")
         print(f"wrote {args.windows_out}", file=sys.stderr)
@@ -656,6 +688,38 @@ def cmd_batch(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """The ``lint`` subcommand: run the static analyzer."""
+    import os
+
+    from repro.analysis import (
+        ALL_RULES,
+        render_json,
+        render_text,
+        run_lint,
+    )
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}: {rule.description}")
+        return 0
+    paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
+    try:
+        result = run_lint(
+            paths,
+            rule_ids=args.rule or None,
+            baseline=args.baseline,
+        )
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=args.verbose))
+    return 0 if result.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -906,6 +970,51 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     batch_parser.set_defaults(func=cmd_batch)
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help=(
+            "statically check determinism and kernel conventions"
+            " (see repro.analysis)"
+        ),
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        help=(
+            "files/directories to check (default: the installed"
+            " repro package)"
+        ),
+    )
+    lint_parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json is versioned and machine-readable)",
+    )
+    lint_parser.add_argument(
+        "--rule",
+        action="append",
+        metavar="ID",
+        help="run only this rule (repeatable; see --list-rules)",
+    )
+    lint_parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="accept findings recorded in this baseline file",
+    )
+    lint_parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    lint_parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print suppressed findings and why",
+    )
+    lint_parser.set_defaults(func=cmd_lint)
 
     return parser
 

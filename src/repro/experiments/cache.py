@@ -22,6 +22,8 @@ import os
 import tempfile
 from typing import Any, Dict, List, Mapping, Optional, TYPE_CHECKING
 
+from repro.util import canonical_json_bytes
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.experiments.spec import ScenarioSpec
 
@@ -31,9 +33,7 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 
 def _canonical(record: Mapping[str, Any]) -> bytes:
     """The byte form stored on disk: canonical, key-sorted JSON."""
-    return json.dumps(
-        record, sort_keys=True, separators=(",", ":")
-    ).encode("utf-8")
+    return canonical_json_bytes(record)
 
 
 class ResultCache:

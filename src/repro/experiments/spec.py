@@ -44,6 +44,7 @@ from repro.core.errors import ConfigError
 from repro.faults.schedule import FaultSchedule
 from repro.noc.switch import SwitchingMode
 from repro.traffic.rng import derive_stream_seed
+from repro.util import canonical_json, canonical_json_bytes
 
 #: Bump when the spec schema or its semantics change incompatibly;
 #: part of the content hash, so stale cache entries never resurface.
@@ -205,7 +206,7 @@ class ScenarioSpec:
         if not isinstance(self.seed, int) or self.seed < 0:
             raise ConfigError(f"seed must be an int >= 0, got {self.seed}")
         try:
-            json.dumps(self.traffic_params, sort_keys=True)
+            canonical_json(self.traffic_params)
         except TypeError:
             raise ConfigError(
                 "traffic_params must be JSON-serialisable (scenario"
@@ -287,9 +288,7 @@ class ScenarioSpec:
         the RNG stream derivation both build on.
         """
         payload = {"schema": SPEC_SCHEMA, "spec": self.to_dict()}
-        blob = json.dumps(
-            payload, sort_keys=True, separators=(",", ":")
-        ).encode("utf-8")
+        blob = canonical_json_bytes(payload)
         return hashlib.sha256(blob).hexdigest()[:16]
 
     def label(self) -> str:

@@ -43,10 +43,10 @@ class FaultInjector:
 
     def __init__(self, schedule: FaultSchedule, platform) -> None:
         self.schedule = schedule
-        self.platform = platform
+        self.platform = platform  # repro: allow[state-coverage] platform reference; re-attached when the injector is rebuilt
         network = platform.network
         topo = platform.topology
-        self._events: Tuple[FaultEvent, ...] = schedule.events
+        self._events: Tuple[FaultEvent, ...] = schedule.events  # repro: allow[state-coverage] derived from the schedule, which is captured whole
         self._next_idx = 0
         #: Directed switch pairs currently avoided by repair.
         self._dead_pairs: Set[Tuple[int, int]] = set()
@@ -496,7 +496,7 @@ class FaultInjector:
         Raises :class:`UnroutableError` when the surviving fabric
         cannot carry an active flow (a partitioning fault).
         """
-        t0 = perf_counter()
+        t0 = perf_counter()  # repro: allow[wall-clock] repair_wall_seconds is a reported repair-cost diagnostic
         platform = self.platform
         network = platform.network
         topo = platform.topology
@@ -563,4 +563,4 @@ class FaultInjector:
                     if parked[i]:
                         sw._wake_input(i, now - 1)
         record.repaired = True
-        record.repair_wall_seconds += perf_counter() - t0
+        record.repair_wall_seconds += perf_counter() - t0  # repro: allow[wall-clock] repair_wall_seconds is a reported repair-cost diagnostic

@@ -32,11 +32,11 @@ Event kinds
 from __future__ import annotations
 
 import hashlib
-import json
 from dataclasses import dataclass
 from typing import Mapping, Optional, Tuple
 
 from repro.core.errors import ConfigError
+from repro.util import canonical_json_bytes
 
 #: Bump when the canonical dict layout changes incompatibly.
 FAULT_SCHEMA = 1
@@ -270,12 +270,10 @@ class FaultSchedule:
     @property
     def key(self) -> str:
         """Content-addressed identity (16 hex chars), like a spec key."""
-        payload = json.dumps(
-            {"schema": FAULT_SCHEMA, "schedule": self.to_dict()},
-            sort_keys=True,
-            separators=(",", ":"),
+        payload = canonical_json_bytes(
+            {"schema": FAULT_SCHEMA, "schedule": self.to_dict()}
         )
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+        return hashlib.sha256(payload).hexdigest()[:16]
 
     def first_cycle(self) -> Optional[int]:
         return self.events[0].cycle if self.events else None

@@ -30,13 +30,13 @@ class Link:
     """
 
     __slots__ = (
-        "delay",
-        "name",
-        "_in_flight",
-        "_credits_in_flight",
-        "wheel",
-        "wheel_size",
-        "sink",
+        "delay",  # repro: allow[state-coverage] construction config from the topology
+        "name",  # repro: allow[state-coverage] derived from the endpoints at construction
+        "_in_flight",  # repro: allow[state-coverage] unwired-link fallback queue; asserted empty at capture
+        "_credits_in_flight",  # repro: allow[state-coverage] unwired-link fallback queue; asserted empty at capture
+        "wheel",  # repro: allow[state-coverage] wiring; re-installed by Network construction on restore
+        "wheel_size",  # repro: allow[state-coverage] wiring; re-installed by Network construction on restore
+        "sink",  # repro: allow[state-coverage] wiring; re-installed by Network construction on restore
         "dst",
         "rx",
         "wire_count",

@@ -98,9 +98,9 @@ class Network:
         sample_buffers: bool = False,
     ) -> None:
         topology.validate()
-        self.topology = topology
-        self.routing = routing
-        self.sample_buffers = sample_buffers
+        self.topology = topology  # repro: allow[state-coverage] structural; restore rebuilds the network from the spec
+        self.routing = routing  # repro: allow[state-coverage] structural; restore rebuilds the network from the spec
+        self.sample_buffers = sample_buffers  # repro: allow[state-coverage] construction config; rebuilt from the spec on restore
         self.switches: List[Switch] = [
             Switch(
                 s,
@@ -124,17 +124,17 @@ class Network:
         self.links: List[Link] = []
         #: Map from a directed switch pair (a, b) to the links carrying
         #: a -> b traffic, for link-load monitoring (Slide 19's 90% links).
-        self.switch_links: Dict[Tuple[int, int], List[Link]] = {}
+        self.switch_links: Dict[Tuple[int, int], List[Link]] = {}  # repro: allow[state-coverage] derived wiring index; rebuilt by Network._wire on restore
         #: Map from a link to its upstream feeder: ``(switch, output
         #: port object)`` for inter-switch and ejection links, ``(None,
         #: ni)`` for injection links.  Fault injection walks this to
         #: find the credit counter a dropped wire flit must refund.
-        self.link_upstream: Dict[Link, tuple] = {}
+        self.link_upstream: Dict[Link, tuple] = {}  # repro: allow[state-coverage] derived wiring index; rebuilt by Network._wire on restore
         #: Map from ``(switch_id, input_port)`` to the link feeding it,
         #: for the instant credit refund of purged buffer slots.
-        self._input_feed: Dict[Tuple[int, int], Link] = {}
+        self._input_feed: Dict[Tuple[int, int], Link] = {}  # repro: allow[state-coverage] derived wiring index; rebuilt by Network._wire on restore
         # Per-link downstream flit sink: called with (flit, now).
-        self._flit_sinks: List[Callable[[Flit, int], None]] = []
+        self._flit_sinks: List[Callable[[Flit, int], None]] = []  # repro: allow[state-coverage] derived wiring index; rebuilt by Network._wire on restore
         # Credit-return registrations deferred until the delivery
         # wheels exist: (downstream switch, input port, link, wheel
         # entry).  The entry is structural — (output port object,
@@ -142,7 +142,7 @@ class Network:
         # injection link — so the credit phase settles each return
         # with one attribute add, and the downstream switch's fused
         # hop appends it to the wheel without a callback frame.
-        self._pending_credit_hooks: List[tuple] = []
+        self._pending_credit_hooks: List[tuple] = []  # repro: allow[state-coverage] derived wiring index; rebuilt by Network._wire on restore
         # Event-driven scheduling state.  The active lists hold the
         # switches/NIs with *actionable* work — a switch is listed
         # while its per-input scan list is non-empty, i.e. while at
@@ -169,9 +169,9 @@ class Network:
         # injection phases test the attribute once per *cycle with
         # traffic*, not per flit, and branch to traced twins of the
         # inlined loops.
-        self._tracer = None
+        self._tracer = None  # repro: allow[state-coverage] tracers must be re-attached after restore (capture refuses otherwise)
         self._wire()
-        self._max_delay = max(
+        self._max_delay = max(  # repro: allow[state-coverage] derived from link delays at construction
             (link.delay for link in self.links), default=1
         )
         size = self._wheel_size = self._max_delay + 1

@@ -102,7 +102,7 @@ class ProgressMeter:
         check cycle."""
         self._start_cycle = now
         self._last_cycle = now
-        self._start_wall = self._last_wall = time.perf_counter()
+        self._start_wall = self._last_wall = time.perf_counter()  # repro: allow[wall-clock] live progress/ETA display reads the real clock by definition
         return now + self._interval_cycles
 
     def tick(self, now: int, faulted: bool = False) -> int:
@@ -121,7 +121,7 @@ class ProgressMeter:
 
     # ------------------------------------------------------------------
     def _emit(self, now: int, faulted: bool, final: bool) -> None:
-        wall = time.perf_counter()
+        wall = time.perf_counter()  # repro: allow[wall-clock] live progress/ETA display reads the real clock by definition
         dt = wall - self._last_wall
         dc = now - self._last_cycle
         cps = dc / dt if dt > 0 else 0.0

@@ -22,6 +22,8 @@ from __future__ import annotations
 import json
 from typing import IO, Any, Dict, List, Optional
 
+from repro.util import canonical_json
+
 #: Canonical intra-cycle order: fault application precedes its aborts,
 #: which precede the cycle's normal dataflow (injection happens in the
 #: last network phase, but a flit injected at cycle ``c`` reaches its
@@ -144,11 +146,7 @@ class FlitTracer:
             if keep:
                 self.events.append(event)
             if stream is not None:
-                stream.write(
-                    json.dumps(
-                        event, sort_keys=True, separators=(",", ":")
-                    )
-                )
+                stream.write(canonical_json(event))
                 stream.write("\n")
         del pending[:]
 
@@ -270,4 +268,4 @@ class FlitTracer:
     def write_perfetto(self, path: str) -> None:
         """Dump :meth:`to_perfetto` to ``path`` as JSON."""
         with open(path, "w") as fh:
-            json.dump(self.to_perfetto(), fh)
+            json.dump(self.to_perfetto(), fh)  # repro: allow[canonical-json] Chrome/Perfetto viewer export, not a deterministic record

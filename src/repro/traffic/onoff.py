@@ -46,10 +46,10 @@ class OnOffTraffic(TrafficModel):
             raise ValueError(f"gap must be >= 0 cycles, got {gap}")
         if length < 1:
             raise ValueError(f"packet length must be >= 1, got {length}")
-        self.packets_per_burst = packets_per_burst
-        self.gap = gap
+        self.packets_per_burst = packets_per_burst  # repro: allow[state-coverage] construction config; rebuilt from the spec on restore
+        self.gap = gap  # repro: allow[state-coverage] construction config; rebuilt from the spec on restore
         self.length = length
-        self.destination = destination
+        self.destination = destination  # repro: allow[state-coverage] construction config; rebuilt from the spec on restore
         self._next_emission = 0
         self._in_burst = 0
         self._burst_id = 0

@@ -39,9 +39,9 @@ class PoissonTraffic(TrafficModel):
             raise ValueError(f"rate must be in (0, 1], got {rate}")
         if length < 1:
             raise ValueError(f"packet length must be >= 1, got {length}")
-        self.rate = rate
+        self.rate = rate  # repro: allow[state-coverage] construction config; rebuilt from the spec on restore
         self.length = length
-        self.destination = destination
+        self.destination = destination  # repro: allow[state-coverage] construction config; rebuilt from the spec on restore
         self._next_emission: Optional[int] = None
 
     def reset(self, seed: Optional[int] = None) -> None:

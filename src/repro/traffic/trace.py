@@ -94,7 +94,7 @@ class TraceTraffic(TrafficModel):
 
     def __init__(self, trace: Trace, seed: int = 1) -> None:
         super().__init__(seed)
-        self.trace = trace
+        self.trace = trace  # repro: allow[state-coverage] immutable trace table from the spec
         self._cursor = 0
 
     def reset(self, seed: Optional[int] = None) -> None:

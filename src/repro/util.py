@@ -1,0 +1,34 @@
+"""Shared utilities: the canonical JSON encoder.
+
+Every deterministic record in the repo — scenario specs, result-cache
+entries, checkpoints, fault schedules, flit-trace lines, warm-point
+cache keys — is serialized through exactly one encoding so that equal
+payloads are equal *bytes*: sorted keys, ``(",", ":")`` separators, no
+trailing whitespace.  Content hashes (spec keys, checkpoint hashes)
+are SHA-256 over that byte form, so the encoder is part of the
+repo-wide bit-identity contract, not a style choice.
+
+The determinism lint (:mod:`repro.analysis`) enforces the funnel: any
+direct ``json.dumps``/``json.dump`` call outside this module is a
+``canonical-json`` finding, so a new record type cannot quietly
+introduce a second, subtly different encoding.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = ["canonical_json", "canonical_json_bytes"]
+
+
+def canonical_json(payload: Any) -> str:
+    """``payload`` as canonical JSON text (sorted keys, no spaces)."""
+    # The single sanctioned json.dumps of the source tree; see the
+    # module docstring.  # repro: allow[canonical-json] this is the shared encoder itself
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def canonical_json_bytes(payload: Any) -> bytes:
+    """``payload`` as UTF-8 canonical JSON (the hashed/stored form)."""
+    return canonical_json(payload).encode("utf-8")

@@ -1,0 +1,97 @@
+"""Baseline round-trip: render -> load -> suppress; stale detection."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import run_lint
+from repro.analysis.baseline import (
+    BASELINE_VERSION,
+    load_baseline,
+    render_baseline,
+)
+
+VIOLATING = """
+import time
+
+def measure():
+    return time.time()
+"""
+
+
+def lint(baseline=None):
+    return run_lint(
+        [],
+        rule_ids=["wall-clock"],
+        baseline=baseline,
+        overlay={"pkg/mod.py": textwrap.dedent(VIOLATING)},
+    )
+
+
+def test_round_trip_suppresses_exactly_the_baselined_findings(tmp_path):
+    first = lint()
+    assert len(first.findings) == 1
+
+    path = tmp_path / "lint_baseline.json"
+    path.write_text(render_baseline(first.findings), encoding="utf-8")
+
+    second = lint(baseline=str(path))
+    assert second.findings == []
+    assert [how for _, how in second.suppressed] == ["baseline"]
+
+
+def test_baseline_matching_ignores_line_numbers(tmp_path):
+    first = lint()
+    path = tmp_path / "lint_baseline.json"
+    path.write_text(render_baseline(first.findings), encoding="utf-8")
+
+    shifted = run_lint(
+        [],
+        rule_ids=["wall-clock"],
+        baseline=str(path),
+        overlay={
+            "pkg/mod.py": "# a new comment shifts every line\n"
+            + textwrap.dedent(VIOLATING)
+        },
+    )
+    assert shifted.findings == []
+
+
+def test_stale_entry_is_reported(tmp_path):
+    path = tmp_path / "lint_baseline.json"
+    path.write_text(
+        render_baseline(lint().findings), encoding="utf-8"
+    )
+    clean = run_lint(
+        [],
+        rule_ids=["wall-clock"],
+        baseline=str(path),
+        overlay={"pkg/mod.py": "def measure(clock):\n    return clock()\n"},
+    )
+    assert [f.rule for f in clean.findings] == ["pragma-hygiene"]
+    assert "stale baseline entry" in clean.findings[0].message
+
+
+def test_render_is_canonical_and_versioned(tmp_path):
+    text = render_baseline(lint().findings)
+    assert f'"version":{BASELINE_VERSION}' in text
+    assert text == render_baseline(lint().findings)
+
+    path = tmp_path / "lint_baseline.json"
+    path.write_text(text, encoding="utf-8")
+    baseline = load_baseline(str(path))
+    assert len(baseline.entries) == 1
+
+
+def test_load_rejects_malformed_files(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"version":99,"entries":[]}', encoding="utf-8")
+    with pytest.raises(ValueError):
+        load_baseline(str(bad))
+
+    bad.write_text(
+        '{"entries":[{"rule":"x","path":"y"}],"version":1}',
+        encoding="utf-8",
+    )
+    with pytest.raises(ValueError):
+        load_baseline(str(bad))

@@ -1,0 +1,37 @@
+"""Tier-1 gate: ``repro lint`` over the whole tree must be clean.
+
+This is the test that makes the analyzer *enforcing* rather than
+advisory — any unsuppressed finding in ``src/repro`` fails the suite.
+A failure message prints the findings verbatim; fix the code, or (for
+a deliberate exception) add a ``# repro: allow[rule-id] reason``
+pragma at the site.
+"""
+
+from pathlib import Path
+
+from repro.analysis import ALL_RULES, run_lint
+from repro.analysis.reporters import render_text
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = str(REPO / "src" / "repro")
+
+
+def test_src_repro_has_no_unsuppressed_findings():
+    result = run_lint([SRC])
+    assert result.ok, "\n" + render_text(result)
+
+
+def test_every_rule_actually_ran():
+    result = run_lint([SRC])
+    assert result.rules == sorted(rule.id for rule in ALL_RULES)
+    assert result.files > 50  # the whole package, not a subset
+
+
+def test_analyzer_lints_itself_clean():
+    # Self-application: the analysis package obeys the conventions it
+    # enforces (no wall-clock, no raw json.dumps, ...).
+    result = run_lint([str(Path(SRC) / "analysis")])
+    assert result.ok, "\n" + render_text(result)
+    assert result.suppressed == [], (
+        "the analyzer itself should need no suppressions"
+    )

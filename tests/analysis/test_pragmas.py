@@ -1,0 +1,126 @@
+"""Pragma parsing, placement and hygiene round-trips."""
+
+import textwrap
+
+from repro.analysis import run_lint
+from repro.analysis.pragmas import parse_pragmas
+
+
+def lint_src(source, path="pkg/mod.py", rules=None):
+    return run_lint(
+        [], rule_ids=rules, overlay={path: textwrap.dedent(source)}
+    )
+
+
+def parse(source):
+    text = textwrap.dedent(source)
+    return parse_pragmas(text, text.splitlines())
+
+
+def test_trailing_pragma_suppresses_its_line():
+    result = lint_src(
+        """
+        import time
+
+        def measure():
+            return time.time()  # repro: allow[wall-clock] benchmark harness
+        """,
+        rules=["wall-clock"],
+    )
+    assert result.findings == []
+    assert len(result.suppressed) == 1
+    finding, how = result.suppressed[0]
+    assert finding.rule == "wall-clock"
+    assert how == "pragma: benchmark harness"
+
+
+def test_comment_only_pragma_covers_next_code_line():
+    result = lint_src(
+        """
+        import time
+
+        def measure():
+            # repro: allow[wall-clock] benchmark harness
+
+            # an unrelated comment between pragma and code is fine
+            return time.time()
+        """,
+        rules=["wall-clock"],
+    )
+    assert result.findings == []
+    assert len(result.suppressed) == 1
+
+
+def test_pragma_for_wrong_rule_does_not_suppress():
+    result = lint_src(
+        """
+        import time
+
+        def measure():
+            return time.time()  # repro: allow[canonical-json] wrong rule
+        """,
+        rules=["wall-clock"],
+    )
+    assert [f.rule for f in result.findings] == ["wall-clock"]
+    assert result.suppressed == []
+
+
+def test_missing_reason_is_a_hygiene_finding():
+    result = lint_src(
+        """
+        import time
+
+        def measure():
+            return time.time()  # repro: allow[wall-clock]
+        """,
+        rules=["wall-clock"],
+    )
+    assert [f.rule for f in result.findings] == ["pragma-hygiene"]
+    assert "no reason" in result.findings[0].message
+
+
+def test_near_miss_spelling_is_a_hygiene_finding():
+    result = lint_src(
+        """
+        import time
+
+        def measure():
+            return time.time()  # repro allow[wall-clock] missing colon
+        """,
+        rules=["wall-clock"],
+    )
+    rules = sorted(f.rule for f in result.findings)
+    # The typo'd pragma suppresses nothing AND is reported itself.
+    assert rules == ["pragma-hygiene", "wall-clock"]
+
+
+def test_unknown_rule_id_is_a_hygiene_finding():
+    result = lint_src(
+        """
+        x = 1  # repro: allow[no-such-rule] reason text
+        """
+    )
+    assert [f.rule for f in result.findings] == ["pragma-hygiene"]
+    assert "does not exist" in result.findings[0].message
+
+
+def test_pragma_text_inside_string_literal_is_inert():
+    pragmas = parse(
+        '''
+        DOC = """
+        example: # repro: allow[wall-clock] not a real pragma
+        """
+        LIT = "# repro: allow[wall-clock] also not real"
+        '''
+    )
+    assert pragmas.allow == {}
+    assert pragmas.problems == []
+
+
+def test_unparseable_file_is_reported_not_skipped():
+    result = lint_src(
+        """
+        def broken(:
+        """
+    )
+    assert [f.rule for f in result.findings] == ["parse-error"]

@@ -1,0 +1,83 @@
+"""Reporter output: JSON schema stability and the text summary."""
+
+import json
+import textwrap
+
+from repro.analysis import run_lint
+from repro.analysis.reporters import (
+    LINT_REPORT_SCHEMA,
+    render_json,
+    render_text,
+)
+from repro.util import canonical_json
+
+VIOLATING = """
+import time
+
+def measure():
+    return time.time()  # repro: allow[wall-clock] harness timing
+
+def stamp():
+    return time.time()
+"""
+
+
+def lint():
+    return run_lint(
+        [],
+        rule_ids=["wall-clock"],
+        overlay={"pkg/mod.py": textwrap.dedent(VIOLATING)},
+    )
+
+
+def test_json_schema_is_exactly_the_documented_keys():
+    report = json.loads(render_json(lint()))
+    assert set(report) == {
+        "schema",
+        "ok",
+        "files",
+        "rules",
+        "findings",
+        "suppressed",
+    }
+    assert report["schema"] == LINT_REPORT_SCHEMA
+    assert report["ok"] is False
+    assert report["files"] == 1
+    assert report["rules"] == ["wall-clock"]
+    assert report["suppressed"] == 1
+    (finding,) = report["findings"]
+    assert set(finding) == {"rule", "path", "line", "message"}
+    assert finding["rule"] == "wall-clock"
+    assert finding["path"] == "pkg/mod.py"
+    assert isinstance(finding["line"], int)
+
+
+def test_json_is_canonical_and_deterministic():
+    text = render_json(lint())
+    assert text == render_json(lint())
+    assert text == canonical_json(json.loads(text))
+
+
+def test_text_report_lines_and_summary():
+    out = render_text(lint())
+    lines = out.splitlines()
+    assert lines[0].startswith("pkg/mod.py:")
+    assert "[wall-clock]" in lines[0]
+    assert lines[-1] == "1 finding (1 suppressed) in 1 files across 1 rules"
+
+
+def test_text_verbose_lists_suppressions():
+    out = render_text(lint(), verbose=True)
+    assert "suppressed (pragma: harness timing):" in out
+
+
+def test_clean_run_reports_ok():
+    result = run_lint(
+        [],
+        rule_ids=["wall-clock"],
+        overlay={"pkg/mod.py": "def f(clock):\n    return clock()\n"},
+    )
+    assert result.ok
+    report = json.loads(render_json(result))
+    assert report["ok"] is True
+    assert report["findings"] == []

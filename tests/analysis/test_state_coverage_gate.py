@@ -1,0 +1,91 @@
+"""Acceptance tests for the state-coverage gate against the REAL tree.
+
+ISSUE 9's acceptance criterion: deleting any single captured field
+from ``checkpoint/capture.py``, or adding a new ``__slots__`` entry to
+``Switch``, must turn the lint gate red.  These tests perform exactly
+those mutations — through the project overlay, never touching disk —
+and assert the gate fires with an actionable message.
+"""
+
+from pathlib import Path
+
+from repro.analysis import run_lint
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = str(REPO / "src" / "repro")
+CAPTURE = REPO / "src" / "repro" / "checkpoint" / "capture.py"
+RESTORE = REPO / "src" / "repro" / "checkpoint" / "restore.py"
+SWITCH = REPO / "src" / "repro" / "noc" / "switch.py"
+
+
+def coverage_findings(overlay):
+    result = run_lint([SRC], rule_ids=["state-coverage"], overlay=overlay)
+    return [f for f in result.findings if f.rule == "state-coverage"]
+
+
+def drop_line(path, needle):
+    """The file's text minus the single line containing ``needle``."""
+    lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+    hits = [ln for ln in lines if needle in ln]
+    assert len(hits) == 1, f"{needle!r} must identify one line"
+    return "".join(ln for ln in lines if needle not in ln)
+
+
+def test_real_tree_is_currently_covered():
+    assert coverage_findings(None) == []
+
+
+def test_deleting_a_captured_field_fails_the_gate():
+    # capture.py reads Switch._in_parked exactly once; delete it.
+    mutated = drop_line(CAPTURE, '"parked": sw._in_parked[i],')
+    findings = coverage_findings(
+        {"repro/checkpoint/capture.py": mutated}
+    )
+    assert any(
+        "Switch._in_parked" in f.message
+        and "not read by checkpoint/capture.py" in f.message
+        for f in findings
+    ), [f.render() for f in findings]
+
+
+def test_deleting_a_restored_field_fails_the_gate():
+    # restore.py writes Switch._parked_count exactly once; delete it.
+    mutated = drop_line(RESTORE, 'sw._parked_count = state["parked_count"]')
+    findings = coverage_findings(
+        {"repro/checkpoint/restore.py": mutated}
+    )
+    assert any(
+        "Switch._parked_count" in f.message
+        and "not written by checkpoint/restore.py" in f.message
+        for f in findings
+    ), [f.render() for f in findings]
+
+
+def test_adding_a_switch_slot_fails_the_gate():
+    text = SWITCH.read_text(encoding="utf-8")
+    grown = text.replace(
+        '__slots__ = (\n        "switch_id",',
+        '__slots__ = (\n        "_brand_new_counter",\n        "switch_id",',
+        1,
+    )
+    assert grown != text
+    findings = coverage_findings({"repro/noc/switch.py": grown})
+    assert any(
+        "Switch._brand_new_counter" in f.message for f in findings
+    ), [f.render() for f in findings]
+
+
+def test_new_slot_with_pragma_passes_the_gate():
+    # The documented escape hatch: a new structural field carries an
+    # allow-pragma naming the rebuild path instead of serialization.
+    text = SWITCH.read_text(encoding="utf-8")
+    grown = text.replace(
+        '__slots__ = (\n        "switch_id",',
+        '__slots__ = (\n'
+        '        "_route_scratch",'
+        '  # repro: allow[state-coverage] rebuilt by _compile_routes\n'
+        '        "switch_id",',
+        1,
+    )
+    assert grown != text
+    assert coverage_findings({"repro/noc/switch.py": grown}) == []
