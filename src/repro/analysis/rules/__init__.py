@@ -130,6 +130,9 @@ from repro.analysis.rules.determinism import (  # noqa: E402
     WallClockRule,
 )
 from repro.analysis.rules.parking import ParkingWakeRule  # noqa: E402
+from repro.analysis.rules.robustness import (  # noqa: E402
+    SwallowedExceptionRule,
+)
 from repro.analysis.rules.settlement import SettleOnReadRule  # noqa: E402
 from repro.analysis.rules.state_coverage import (  # noqa: E402
     StateCoverageRule,
@@ -144,6 +147,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     StateCoverageRule(),
     SettleOnReadRule(),
     ParkingWakeRule(),
+    SwallowedExceptionRule(),
 )
 
 RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}

@@ -1,0 +1,91 @@
+"""Robustness rules: failures must surface, not vanish.
+
+``swallowed-exception``
+    No bare ``except:`` / ``except BaseException:`` that neither
+    re-raises nor converts the failure into a structured error or
+    report object.  A handler that catches *everything* and drops it
+    on the floor turns crashes into silent wrong answers — the exact
+    failure mode the sweep supervisor exists to prevent.  Cleanup
+    handlers that re-raise (the atomic-write pattern) and handlers
+    that build a structured record (``FailureRecord(...)``,
+    ``SomeError(...)``) pass; anything else needs a pragma saying why
+    swallowing is safe there.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project
+from repro.analysis.rules import Rule, dotted_name
+
+__all__ = ["SwallowedExceptionRule"]
+
+#: Constructor-name suffixes that count as converting the failure
+#: into structured data instead of swallowing it.
+_STRUCTURED_SUFFIXES = (
+    "Error",
+    "Report",
+    "Record",
+    "Crash",
+    "Timeout",
+    "Finding",
+)
+
+
+def _catches_everything(handler: ast.ExceptHandler) -> bool:
+    """True for ``except:`` and any clause naming BaseException."""
+    if handler.type is None:
+        return True
+    clauses = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for clause in clauses:
+        name = dotted_name(clause)
+        if name is not None and name.split(".")[-1] == "BaseException":
+            return True
+    return False
+
+
+def _handles_structurally(handler: ast.ExceptHandler) -> bool:
+    """True when the handler re-raises or builds a structured error."""
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is not None and name.split(".")[-1].endswith(
+                    _STRUCTURED_SUFFIXES
+                ):
+                    return True
+    return False
+
+
+class SwallowedExceptionRule(Rule):
+    id = "swallowed-exception"
+    description = (
+        "bare except / except BaseException that neither re-raises"
+        " nor builds a structured error/report swallows failures"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                if not _catches_everything(node):
+                    continue
+                if _handles_structurally(node):
+                    continue
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    "catch-everything handler swallows the failure;"
+                    " re-raise, build a structured error/report, or"
+                    " narrow the exception type",
+                )

@@ -15,6 +15,13 @@ The three public operations:
 Built on top: warm-started sweeps (ramp a shared prefix once, fork one
 restore per sweep point — see :mod:`repro.experiments.runner`) and
 crash-safe long runs (``repro run --checkpoint-every``).
+
+Crash safety composes across layers: ``--checkpoint-every`` protects
+*one long run* at cycle granularity, while the sweep journal
+(:class:`repro.experiments.resilience.SweepJournal`, ``repro batch
+--resume-journal``) protects a *whole sweep* at scenario granularity
+— after a process-level crash the journal skips finished scenarios
+and a per-scenario checkpoint resumes the interrupted one.
 """
 
 from .capture import snapshot

@@ -22,6 +22,30 @@ expands a JSON sweep document into scenarios and runs them through the
 experiment runner (parallel workers, on-disk result cache, aggregated
 report — see ``repro.experiments``).
 
+Robustness flags of ``batch`` (see ``repro.experiments.resilience``)::
+
+    python -m repro batch sweep.json --workers 4 --retries 2 \
+                          --scenario-timeout 120
+    python -m repro batch sweep.json --resume-journal
+
+* ``--retries N`` — extra attempts per failing scenario (default 1).
+  Worker crashes (SIGKILL, OOM) and timeouts are retried like
+  exceptions; a retry that succeeds is bit-identical to a clean run.
+* ``--scenario-timeout SECONDS`` — per-scenario wall-clock budget:
+  cooperative in-engine deadline, backed (parallel runs) by a
+  watchdog that hard-kills wedged workers past the grace period.
+* ``--quarantine / --no-quarantine`` — park specs that exhaust their
+  attempts as ``quarantined`` failure records (default) or plain
+  ``failed`` ones; either way the sweep finishes, prints every
+  surviving result and exits 1 if anything failed.
+* ``--resume-journal`` — resume the sweep's append-only outcome
+  journal (written next to the cache on every journaled run) after a
+  process-level crash: specs recorded ``done`` are served from the
+  cache, ``quarantined`` ones stay parked, everything else re-runs.
+  Needs the cache (incompatible with ``--no-cache``).
+* ``--memory-limit MB`` — per-worker address-space ceiling; overruns
+  fail the attempt instead of stalling the host.
+
 Telemetry flags of ``run`` (see ``repro.telemetry``):
 
 * ``--windows N`` collects the boundary-differenced window series
@@ -591,6 +615,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
         DEFAULT_CACHE_DIR,
         ResultCache,
         Sweep,
+        SweepJournal,
         SweepRunner,
         aggregate,
         render_table,
@@ -610,20 +635,45 @@ def cmd_batch(args: argparse.Namespace) -> int:
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
 
-    def progress(done: int, total: int, result) -> None:
-        tag = "cached" if result.cached else "ran"
+    journal = None
+    if cache is not None:
+        journal = SweepJournal.for_sweep(cache.root, specs)
+    elif args.resume_journal:
         print(
-            f"[{done}/{total}] {tag:>6}  {result.spec.label()}"
+            "error: --resume-journal needs the cache (drop"
+            " --no-cache); the journal lives next to it and resumes"
+            " finished specs from it",
+            file=sys.stderr,
+        )
+        return 2
+
+    def progress(done: int, total: int, result) -> None:
+        if getattr(result, "failed", False):
+            tag = result.status
+        elif result.cached:
+            tag = "cached"
+        else:
+            tag = "ran"
+        print(
+            f"[{done}/{total}] {tag:>11}  {result.spec.label()}"
             f"  ({result.wall_seconds:.2f}s)",
             file=sys.stderr,
         )
 
-    runner = SweepRunner(
-        workers=args.workers,
-        cache=cache,
-        progress=progress if args.verbose or args.progress else None,
-    )
     try:
+        runner = SweepRunner(
+            workers=args.workers,
+            cache=cache,
+            progress=(
+                progress if args.verbose or args.progress else None
+            ),
+            retries=args.retries,
+            timeout=args.scenario_timeout,
+            memory_limit_mb=args.memory_limit,
+            quarantine=args.quarantine,
+            journal=journal,
+            resume=args.resume_journal,
+        )
         results = runner.run(specs)
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -680,14 +730,40 @@ def cmd_batch(args: argparse.Namespace) -> int:
         to_json(rows, args.json)
         print(f"wrote {args.json}", file=sys.stderr)
 
+    if results.failures:
+        print("\n--- failures ---", file=sys.stderr)
+        seen = set()
+        for failure in results.failures:
+            if id(failure) in seen:  # duplicate spec, same record
+                continue
+            seen.add(id(failure))
+            print(
+                f"{failure.status}: {failure.spec.label()} —"
+                f" {failure.error} after {failure.attempts}"
+                f" attempt(s): {failure.message}",
+                file=sys.stderr,
+            )
+
+    extras = ""
+    if stats.failed:
+        extras += (
+            f", {stats.failed} failed"
+            f" ({stats.quarantined} quarantined)"
+        )
+    if stats.retried:
+        extras += f", {stats.retried} retried"
+    if stats.parked:
+        extras += f", {stats.parked} parked by journal"
+    if stats.corrupt_cache:
+        extras += f", {stats.corrupt_cache} corrupt cache entr(ies)"
     print(
         f"\n{stats.scenarios} scenario(s): {stats.executed} executed,"
-        f" {stats.cached} cached, {stats.workers} worker(s),"
+        f" {stats.cached} cached{extras}, {stats.workers} worker(s),"
         f" {stats.wall_seconds:.2f}s"
         f" ({stats.scenarios_per_second:.1f} scenarios/s)",
         file=sys.stderr,
     )
-    return 0
+    return 1 if results.failures else 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -955,6 +1031,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch_parser.add_argument(
         "--json", default=None, help="write per-scenario rows as JSON"
+    )
+    batch_parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "extra attempts per failing scenario before it is parked"
+            " (default: 1; crashes and timeouts count like"
+            " exceptions)"
+        ),
+    )
+    batch_parser.add_argument(
+        "--scenario-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-scenario wall-clock budget: cooperative in-engine"
+            " deadline plus, with workers, a watchdog hard-kill"
+        ),
+    )
+    batch_parser.add_argument(
+        "--quarantine",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "park repeat offenders as 'quarantined' records (the"
+            " default) instead of plain 'failed' ones; the sweep"
+            " finishes either way"
+        ),
+    )
+    batch_parser.add_argument(
+        "--resume-journal",
+        action="store_true",
+        help=(
+            "resume the sweep's outcome journal after a crash:"
+            " re-run only specs not recorded done/quarantined"
+            " (needs the cache)"
+        ),
+    )
+    batch_parser.add_argument(
+        "--memory-limit",
+        type=int,
+        default=None,
+        metavar="MB",
+        help=(
+            "per-worker address-space ceiling; overruns fail the"
+            " attempt instead of stalling the host"
+        ),
     )
     batch_parser.add_argument(
         "--verbose",

@@ -14,7 +14,7 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Tuple
 
-from repro.core.errors import EmulationError
+from repro.core.errors import EmulationError, ScenarioTimeout
 from repro.core.platform import EmulationPlatform
 from repro.noc.network import format_parked_report
 
@@ -24,6 +24,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Sentinel "never" cycle, past any emulated horizon.
 _NEVER = 1 << 62
+
+#: Cycles between cooperative wall-clock checks of a deadlined run.
+#: Reading the host clock every cycle would dominate the hot loop; at
+#: tens of thousands of cycles per second this granularity bounds the
+#: overshoot to well under a second while costing one comparison per
+#: cycle (the same register discipline as faults and telemetry).
+_WALL_CHECK_CYCLES = 4096
 
 
 @dataclass
@@ -131,6 +138,7 @@ class EmulationEngine:
         progress=None,
         progress_interval: float = 0.5,
         finalize: bool = True,
+        max_wall_seconds: Optional[float] = None,
     ) -> EngineResult:
         """Run until done (budget exhausted + drained) or a limit hits.
 
@@ -163,6 +171,15 @@ class EmulationEngine:
         an idle fast-forward lands on a window boundary so the skipped
         windows emit as zero-delta records (parking and fast-forward
         stay fully engaged — nothing is sampled per cycle).
+
+        ``max_wall_seconds`` arms the cooperative timeout: the loop
+        re-reads the host clock every few thousand cycles and raises a
+        structured :class:`~repro.core.errors.ScenarioTimeout` once
+        the budget is spent.  This is what lets a sweep worker abort a
+        wedged scenario *cleanly* (the supervisor's watchdog kill is
+        the backstop for runs stuck outside the loop); it never
+        perturbs the emulated schedule — a run that finishes in budget
+        is bit-identical to an undeadlined one.
 
         ``finalize=False`` runs a *chunk* of a longer emulation: the
         fault report is returned live (no end-window cut) and the
@@ -245,10 +262,34 @@ class EmulationEngine:
                 limit_cycle=limit_cycle,
             )
             prog_next = meter.start(start_cycle)
+        # Cooperative wall-clock budget: same one-comparison register
+        # shape as faults/telemetry; disabled runs never read the
+        # clock.
+        wall_next = _NEVER
+        wall_deadline = 0.0
+        if max_wall_seconds is not None:
+            if max_wall_seconds < 0:
+                raise EmulationError(
+                    f"max_wall_seconds must be >= 0, got"
+                    f" {max_wall_seconds}"
+                )
+            wall_deadline = started + max_wall_seconds
+            wall_next = start_cycle
         degraded_reason: Optional[str] = None
         parked_snapshot: tuple = ()
         while control.running:
             now = network.cycle
+            if now >= wall_next:
+                elapsed = time.perf_counter() - started  # repro: allow[wall-clock] cooperative timeout check; never enters a deterministic record
+                if elapsed >= max_wall_seconds:
+                    raise ScenarioTimeout(
+                        f"scenario exceeded its {max_wall_seconds}s"
+                        f" wall-clock budget at cycle {now}"
+                        f" ({elapsed:.2f}s elapsed)",
+                        cycle=now,
+                        elapsed=elapsed,
+                    )
+                wall_next = now + _WALL_CHECK_CYCLES
             if now >= tel_next:
                 # Before the fault tick: a fault applied at cycle
                 # ``now`` belongs to the window *starting* here, not

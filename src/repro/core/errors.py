@@ -11,6 +11,25 @@ class ConfigError(EmulationError):
     """An invalid or inconsistent platform configuration."""
 
 
+class ScenarioTimeout(EmulationError):
+    """A run exceeded its cooperative wall-clock budget.
+
+    Raised by :meth:`~repro.core.engine.EmulationEngine.run` when
+    ``max_wall_seconds`` expires — the in-process half of the sweep
+    supervisor's timeout enforcement (the supervisor's watchdog kill
+    is the out-of-process backstop for wedged workers).  Carries the
+    cycle the check tripped at and the elapsed wall seconds so the
+    failure record can say how far the scenario got.
+    """
+
+    def __init__(
+        self, message: str, cycle: int = 0, elapsed: float = 0.0
+    ) -> None:
+        super().__init__(message)
+        self.cycle = cycle
+        self.elapsed = elapsed
+
+
 class UnroutableError(EmulationError):
     """A fault left at least one active flow with no surviving route.
 

@@ -11,8 +11,14 @@ configurations" from hand-rolled loops into data:
 * :mod:`~repro.experiments.runner` — :class:`SweepRunner`, executing
   spec lists serially or on a process pool with bit-identical results
   either way, yielding :class:`ScenarioResult` records.
+* :mod:`~repro.experiments.resilience` — the crash-safety layer:
+  supervised workers (crash/timeout detection, retries, quarantine),
+  the resumable :class:`SweepJournal` ledger, and the
+  :class:`SweepReport` a sweep always returns (completed results plus
+  :class:`FailureRecord` provenance, never a mid-sweep exception).
 * :mod:`~repro.experiments.cache` — :class:`ResultCache`, an on-disk
-  store keyed by spec hash so re-runs only execute changed scenarios.
+  store keyed by spec hash so re-runs only execute changed scenarios
+  (corrupt entries are quarantined aside, never re-trusted).
 * :mod:`~repro.experiments.report` — group-by aggregation with
   mean/percentile statistics, CSV/JSON export, table rendering.
 
@@ -32,6 +38,12 @@ machinery from the command line.
 """
 
 from repro.experiments.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.experiments.resilience import (
+    FailureRecord,
+    SweepJournal,
+    SweepReport,
+    WorkerCrash,
+)
 from repro.experiments.report import (
     aggregate,
     percentile,
@@ -56,13 +68,17 @@ from repro.experiments.spec import ScenarioSpec, Sweep
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
+    "FailureRecord",
     "ResultCache",
     "ScenarioResult",
     "ScenarioSpec",
     "Sweep",
+    "SweepJournal",
+    "SweepReport",
     "SweepRunner",
     "SweepStats",
     "WarmResult",
+    "WorkerCrash",
     "aggregate",
     "make_ramp_checkpoint",
     "percentile",

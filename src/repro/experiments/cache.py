@@ -12,7 +12,14 @@ Layout: one canonical-JSON file per scenario under the cache root,
 named ``<key>.json``.  Records are written atomically (temp file +
 rename) so a crashed or killed sweep never leaves a truncated record
 a later run would trust; unreadable, schema-mismatched or key-
-mismatched files read as misses, never as errors.
+mismatched files read as misses, never as errors — and are
+*quarantined* in the same motion: the bad file is atomically renamed
+to ``<key>.corrupt`` (preserved for post-mortem, skipped by
+:meth:`ResultCache.keys`) so the sweep re-runs the scenario once and
+overwrites the slot, instead of silently re-parsing the same corrupt
+bytes on every future run.  The per-instance ``corrupt_quarantined``
+counter surfaces in the sweep's
+:class:`~repro.experiments.resilience.SweepReport`.
 """
 
 from __future__ import annotations
@@ -42,9 +49,26 @@ class ResultCache:
     def __init__(self, root: str) -> None:
         self.root = str(root)
         os.makedirs(self.root, exist_ok=True)
+        #: Corrupt entries renamed to ``<key>.corrupt`` by this
+        #: instance; sweep runs surface the delta in their report.
+        self.corrupt_quarantined = 0
 
     def path_for(self, key: str) -> str:
         return os.path.join(self.root, f"{key}.json")
+
+    def corrupt_path_for(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.corrupt")
+
+    def _quarantine(self, key: str) -> None:
+        """Atomically move a bad entry aside so it cannot be re-read
+        as a miss forever; counted only when this process wins the
+        rename (concurrent readers race benignly — exactly one
+        succeeds, the rest see the file already gone)."""
+        try:
+            os.replace(self.path_for(key), self.corrupt_path_for(key))
+        except OSError:
+            return
+        self.corrupt_quarantined += 1
 
     # ------------------------------------------------------------------
     # Lookup
@@ -54,7 +78,10 @@ class ResultCache:
 
         Corruption, schema drift and (vanishingly unlikely) hash
         collisions all degrade to a miss: the scenario simply re-runs
-        and overwrites the bad entry.
+        and overwrites the slot.  Corrupt and drifted entries are
+        additionally quarantined to ``<key>.corrupt``; a genuine hash
+        collision (valid record, matching key, different spec) is a
+        plain miss — the entry is someone else's valid data.
         """
         raw = self.get_bytes(spec.key)
         if raw is None:
@@ -62,14 +89,18 @@ class ResultCache:
         try:
             record = json.loads(raw)
         except json.JSONDecodeError:
+            self._quarantine(spec.key)
             return None
         if not isinstance(record, dict):
+            self._quarantine(spec.key)
             return None
         from repro.experiments.runner import RECORD_SCHEMA
 
         if record.get("schema") != RECORD_SCHEMA:
+            self._quarantine(spec.key)
             return None
         if record.get("key") != spec.key:
+            self._quarantine(spec.key)
             return None
         # Hash collision guard: the full spec must match.  Compare in
         # canonical JSON form — the live spec holds tuples where the
@@ -79,6 +110,7 @@ class ResultCache:
         ):
             return None
         if not isinstance(record.get("metrics"), dict):
+            self._quarantine(spec.key)
             return None
         return record
 
@@ -98,7 +130,7 @@ class ResultCache:
         checkpoint's content hash into their key, so warm and cold
         runs of the same spec cache separately.  Same degradation
         rules: corruption, schema drift or a key mismatch read as a
-        miss, never as an error.
+        quarantined miss, never as an error.
         """
         raw = self.get_bytes(key)
         if raw is None:
@@ -106,16 +138,21 @@ class ResultCache:
         try:
             record = json.loads(raw)
         except json.JSONDecodeError:
+            self._quarantine(key)
             return None
         if not isinstance(record, dict):
+            self._quarantine(key)
             return None
         from repro.experiments.runner import RECORD_SCHEMA
 
         if record.get("schema") != RECORD_SCHEMA:
+            self._quarantine(key)
             return None
         if record.get("key") != key:
+            self._quarantine(key)
             return None
         if not isinstance(record.get("metrics"), dict):
+            self._quarantine(key)
             return None
         return record
 

@@ -60,6 +60,21 @@ def percentile(values: Sequence[float], q: float) -> float:
     return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
 
+def _spec_row(spec) -> Dict[str, Any]:
+    """The spec-derived columns of one row (no metrics)."""
+    row: Dict[str, Any] = {"key": spec.key}
+    fields = spec.to_dict()
+    params = fields.pop("traffic_params")
+    if spec.faults is not None:
+        # Flat rows want a scalar cell: the schedule's content
+        # hash stands in for the full event list.
+        fields["faults"] = spec.faults.key
+    row.update(fields)
+    for name, value in sorted(params.items()):
+        row[f"traffic_params.{name}"] = value
+    return row
+
+
 def rows_from_results(
     results: Sequence[ScenarioResult],
 ) -> List[Dict[str, Any]]:
@@ -71,16 +86,7 @@ def rows_from_results(
     """
     rows = []
     for result in results:
-        row: Dict[str, Any] = {"key": result.key}
-        spec = result.spec.to_dict()
-        params = spec.pop("traffic_params")
-        if result.spec.faults is not None:
-            # Flat rows want a scalar cell: the schedule's content
-            # hash stands in for the full event list.
-            spec["faults"] = result.spec.faults.key
-        row.update(spec)
-        for name, value in sorted(params.items()):
-            row[f"traffic_params.{name}"] = value
+        row = _spec_row(result.spec)
         row.update(result.metrics)
         row["cached"] = result.cached
         rows.append(row)
@@ -114,11 +120,20 @@ def aggregate(
     ``mean``, ``min``, ``max``, ``count`` and ``pNN`` percentiles
     (``p50``, ``p95``, ...).  Output rows are sorted by group key and
     carry columns ``<metric>.<stat>``.
+
+    A :class:`~repro.experiments.resilience.SweepReport` aggregates
+    over its completed results and adds a ``missing`` column: how
+    many of each group's scenarios failed or were quarantined, so a
+    partial sweep can never masquerade as a complete one.  A group
+    whose members all failed still appears, with ``n = 0`` and every
+    statistic ``None``.  Plain result lists keep the old schema.
     """
     if not by:
         raise ConfigError("aggregate needs at least one group-by field")
+    failures = list(getattr(results, "failures", ()))
+    track_missing = hasattr(results, "failures")
     rows = rows_from_results(results)
-    if not rows:
+    if not rows and not failures:
         return []
     if metrics is None:
         metrics = []
@@ -135,6 +150,15 @@ def aggregate(
     groups: Dict[Tuple, List[Mapping[str, Any]]] = {}
     for row in rows:
         groups.setdefault(_group_key(row, by), []).append(row)
+    # Failure records group by their spec fields alone (they have no
+    # metrics); a by-field they cannot provide — e.g. grouping by a
+    # metric — lands as None rather than erroring the aggregation.
+    missing: Dict[Tuple, int] = {}
+    for failure in failures:
+        frow = _spec_row(failure.spec)
+        key = tuple(frow.get(field) for field in by)
+        missing[key] = missing.get(key, 0) + 1
+        groups.setdefault(key, [])
 
     def sort_value(value: Any) -> Tuple:
         # Numbers sort numerically (depth 16 after depth 2, not
@@ -152,6 +176,8 @@ def aggregate(
         members = groups[key]
         agg: Dict[str, Any] = dict(zip(by, key))
         agg["n"] = len(members)
+        if track_missing:
+            agg["missing"] = missing.get(key, 0)
         for metric in metrics:
             values = [
                 m[metric]

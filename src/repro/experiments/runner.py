@@ -22,6 +22,14 @@ Three properties the sweeps rely on:
   ResultCache` attached, already-computed scenarios are served from
   disk and only changed specs execute (the software mirror of Slide
   13's "avoids often hardware re-synthesis").
+
+And one property the long sweeps rely on: **robustness**.  Execution
+is supervised (:mod:`repro.experiments.resilience`): worker death,
+timeouts and per-spec exceptions are retried and then quarantined
+instead of aborting the sweep, every outcome can be journaled for
+crash-safe resumption, and :meth:`SweepRunner.run` always returns a
+structured :class:`~repro.experiments.resilience.SweepReport` of
+completed results plus failure records.
 """
 
 from __future__ import annotations
@@ -43,6 +51,12 @@ from repro.core.engine import EmulationEngine
 from repro.core.errors import ConfigError
 from repro.core.platform import build_platform
 from repro.experiments.cache import ResultCache
+from repro.experiments.resilience import (
+    FailureRecord,
+    SweepJournal,
+    SweepReport,
+    run_supervised,
+)
 from repro.experiments.spec import ScenarioSpec
 
 #: Bump when the metric record layout changes; stored in every record
@@ -94,8 +108,17 @@ class ScenarioResult:
         )
 
 
-def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
-    """Execute one scenario end to end (pure function of the spec)."""
+def run_scenario(
+    spec: ScenarioSpec, timeout: Optional[float] = None
+) -> ScenarioResult:
+    """Execute one scenario end to end (pure function of the spec).
+
+    ``timeout`` arms the engine's cooperative wall-clock budget
+    (:class:`~repro.core.errors.ScenarioTimeout` on overrun); it
+    bounds *how long* the run may take without touching *what* it
+    computes — a finished run's record is identical with or without
+    the deadline.
+    """
     import itertools
 
     import repro.noc.flit as flit_mod
@@ -115,7 +138,7 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
         telemetry = WindowedMetrics(platform, spec.telemetry_windows)
     result = EmulationEngine(
         platform, faults=spec.faults, telemetry=telemetry
-    ).run()
+    ).run(max_wall_seconds=timeout)
     from repro.stats.summary import scenario_metrics
 
     metrics = scenario_metrics(platform, result)
@@ -134,13 +157,29 @@ def _run_record(spec_dict: Dict[str, Any]) -> Tuple[Dict[str, Any], float]:
 
 @dataclass
 class SweepStats:
-    """Execution accounting of one :meth:`SweepRunner.run` call."""
+    """Execution accounting of one :meth:`SweepRunner.run` call.
+
+    The robustness counters (``failed``, ``quarantined``, ``retried``,
+    ``parked``, ``corrupt_cache``) are provenance, like
+    ``wall_seconds``: they describe how the sweep went, never what the
+    surviving scenarios computed.
+    """
 
     scenarios: int = 0
     executed: int = 0
     cached: int = 0
     wall_seconds: float = 0.0
     workers: int = 1
+    #: Specs that ended as FailureRecords (quarantined included).
+    failed: int = 0
+    #: The subset of ``failed`` parked with status "quarantined".
+    quarantined: int = 0
+    #: Extra execution attempts beyond each spec's first.
+    retried: int = 0
+    #: Specs skipped because a resumed journal holds them quarantined.
+    parked: int = 0
+    #: Corrupt cache entries renamed to ``<key>.corrupt`` this run.
+    corrupt_cache: int = 0
 
     @property
     def scenarios_per_second(self) -> float:
@@ -150,7 +189,7 @@ class SweepStats:
 
 
 class SweepRunner:
-    """Executes scenario lists serially or on a process pool.
+    """Executes scenario lists serially or on a supervised pool.
 
     Parameters
     ----------
@@ -162,46 +201,110 @@ class SweepRunner:
         skip execution, misses are stored after the run.
     progress:
         Optional callback ``(done, total, result)`` fired live as each
-        scenario is retired (cache hits and duplicates included):
-        cache hits first, then executions in submission order as they
-        complete, duplicates last.  The returned list is in spec order.
+        scenario is retired (cache hits, duplicates and failures
+        included): cache hits first, then executions as they complete,
+        duplicates last.  ``result`` is a :class:`ScenarioResult` or,
+        for a spec that exhausted its attempts, a
+        :class:`~repro.experiments.resilience.FailureRecord`.
+    retries:
+        Extra attempts per failing spec (``attempts = retries + 1``).
+        Because scenarios are pure functions of their specs, a retry
+        that succeeds is bit-identical to a clean first run.
+    timeout:
+        Per-scenario wall-clock budget in seconds: cooperative
+        in-engine deadline plus (pool runs only) a watchdog hard-kill
+        at ``timeout + grace``.
+    memory_limit_mb:
+        Optional per-worker address-space ceiling (pool runs only);
+        overruns fail the attempt as MemoryError or WorkerCrash.
+    quarantine:
+        When True (default), specs that exhaust their attempts are
+        parked as ``status="quarantined"`` failure records; when
+        False they are plain ``"failed"`` records.  Either way the
+        sweep finishes and returns what survived.
+    journal:
+        Optional :class:`~repro.experiments.resilience.SweepJournal`;
+        every final per-spec outcome is appended to the ledger.
+    resume:
+        With ``journal``, resume its ledger instead of truncating it:
+        specs recorded ``done`` are served from cache (a cache miss
+        re-runs them), ``quarantined`` specs stay parked without
+        re-running, ``failed`` specs re-run.
+    chaos:
+        Fault-drill hooks forwarded to the supervised pool (see
+        :mod:`repro.experiments.resilience`); test-only.
     """
 
     def __init__(
         self,
         workers: int = 1,
         cache: Optional[ResultCache] = None,
-        progress: Optional[
-            Callable[[int, int, ScenarioResult], None]
-        ] = None,
+        progress: Optional[Callable[[int, int, Any], None]] = None,
+        retries: int = 1,
+        timeout: Optional[float] = None,
+        memory_limit_mb: Optional[int] = None,
+        quarantine: bool = True,
+        journal: Optional["SweepJournal"] = None,
+        resume: bool = False,
+        chaos: Optional[Mapping[str, Any]] = None,
     ) -> None:
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
+        if retries < 0:
+            raise ConfigError(f"retries must be >= 0, got {retries}")
+        if timeout is not None and timeout <= 0:
+            raise ConfigError(f"timeout must be > 0, got {timeout}")
+        if resume and journal is None:
+            raise ConfigError("resume=True needs a journal")
         self.workers = workers
         self.cache = cache
         self.progress = progress
+        self.retries = retries
+        self.timeout = timeout
+        self.memory_limit_mb = memory_limit_mb
+        self.quarantine = quarantine
+        self.journal = journal
+        self.resume = resume
+        self.chaos = chaos
         self.last_stats = SweepStats()
         self._done = 0
 
     # ------------------------------------------------------------------
-    def run(self, specs: Sequence[ScenarioSpec]) -> List[ScenarioResult]:
-        """Run a sweep; results come back in spec order.
+    def run(self, specs: Sequence[ScenarioSpec]) -> SweepReport:
+        """Run a sweep; a :class:`SweepReport` comes back in spec order.
 
         Duplicate specs (same content hash) execute once and share the
-        result.  With a cache attached, previously stored scenarios
-        are served from disk.
+        outcome.  With a cache attached, previously stored scenarios
+        are served from disk.  A failing spec never aborts the sweep:
+        it is retried up to ``retries`` times and then recorded as a
+        :class:`~repro.experiments.resilience.FailureRecord` in
+        ``report.failures`` while every other spec's result is kept.
         """
         started = time.perf_counter()  # repro: allow[wall-clock] wall-time telemetry only; never enters a hashed or cached record
         specs = list(specs)
         total = len(specs)
         results: List[Optional[ScenarioResult]] = [None] * total
+        failures: Dict[int, FailureRecord] = {}
         self._done = 0
+        corrupt_before = (
+            self.cache.corrupt_quarantined
+            if self.cache is not None
+            else 0
+        )
 
-        # Cache pass + dedup: first occurrence of each key executes.
+        ledger: Dict[str, Dict[str, Any]] = {}
+        if self.journal is not None:
+            if self.resume:
+                ledger = self.journal.load()
+            else:
+                self.journal.reset()
+
+        # Journal / cache pass + dedup: first occurrence of each key
+        # executes; quarantined ledger entries stay parked.
         pending: List[Tuple[int, ScenarioSpec]] = []
         first_index: Dict[str, int] = {}
         duplicates: List[Tuple[int, int]] = []
-        cached = 0
+        cached = parked = 0
         for i, spec in enumerate(specs):
             if not isinstance(spec, ScenarioSpec):
                 raise ConfigError(
@@ -213,6 +316,20 @@ class SweepRunner:
                 duplicates.append((i, first_index[key]))
                 continue
             first_index[key] = i
+            entry = ledger.get(key)
+            if entry is not None and entry["status"] == "quarantined":
+                failures[i] = FailureRecord(
+                    spec=spec,
+                    error=str(entry.get("error", "unknown")),
+                    message=str(
+                        entry.get("message", "quarantined by journal")
+                    ),
+                    attempts=int(entry.get("attempts", 0)),
+                    status="quarantined",
+                )
+                parked += 1
+                self._tick(total, failures[i])
+                continue
             if self.cache is not None:
                 record = self.cache.get(spec)
                 if record is not None:
@@ -220,73 +337,162 @@ class SweepRunner:
                         record, cached=True
                     )
                     cached += 1
+                    self._journal_done(key)
                     self._tick(total, results[i])
                     continue
             pending.append((i, spec))
 
-        executed = self._execute(pending, results, total)
+        executed, retried = self._execute(
+            pending, results, failures, total
+        )
 
         for dup, first in duplicates:
-            results[dup] = results[first]
-            self._tick(total, results[dup])
+            if first in failures:
+                failures[dup] = failures[first]
+            else:
+                results[dup] = results[first]
+            self._tick(total, results[dup] or failures[dup])
         final = [r for r in results if r is not None]
-        if len(final) != total:  # pragma: no cover - internal invariant
+        failed = [failures[i] for i in sorted(failures)]
+        if len(final) + len(failed) != total:  # pragma: no cover - internal invariant
             raise RuntimeError("sweep lost results")
 
+        corrupt = (
+            self.cache.corrupt_quarantined - corrupt_before
+            if self.cache is not None
+            else 0
+        )
         self.last_stats = SweepStats(
             scenarios=total,
             executed=executed,
             cached=cached,
             wall_seconds=time.perf_counter() - started,  # repro: allow[wall-clock] wall-time telemetry only; never enters a hashed or cached record
             workers=self.workers,
+            failed=len(failed),
+            quarantined=sum(
+                1 for f in failed if f.status == "quarantined"
+            ),
+            retried=retried,
+            parked=parked,
+            corrupt_cache=corrupt,
         )
-        return final
+        return SweepReport(
+            results=final, failures=failed, corrupt_cache=corrupt
+        )
 
     # ------------------------------------------------------------------
-    def _tick(self, total: int, result: ScenarioResult) -> None:
+    def _tick(self, total: int, result: Any) -> None:
         """One scenario accounted for: fire the live progress hook."""
         self._done += 1
         if self.progress is not None:
             self.progress(self._done, total, result)
 
+    def _journal_done(self, key: str) -> None:
+        if self.journal is not None:
+            self.journal.write(key, "done", attempts=1)
+
+    def _finish(
+        self,
+        index: int,
+        spec: ScenarioSpec,
+        result: ScenarioResult,
+        results: List[Optional[ScenarioResult]],
+        total: int,
+    ) -> None:
+        """One spec completed: store, cache, journal, report."""
+        results[index] = result
+        if self.cache is not None:
+            self.cache.put(spec, result.record())
+        self._journal_done(spec.key)
+        self._tick(total, result)
+
+    def _fail(
+        self,
+        index: int,
+        spec: ScenarioSpec,
+        error: str,
+        message: str,
+        attempts: int,
+        failures: Dict[int, FailureRecord],
+        total: int,
+    ) -> None:
+        """One spec out of attempts: park it and journal the outcome."""
+        status = "quarantined" if self.quarantine else "failed"
+        failures[index] = FailureRecord(
+            spec=spec,
+            error=error,
+            message=message,
+            attempts=attempts,
+            status=status,
+        )
+        if self.journal is not None:
+            self.journal.write(
+                spec.key,
+                status,
+                error=error,
+                message=message,
+                attempts=attempts,
+            )
+        self._tick(total, failures[index])
+
     def _execute(
         self,
         pending: List[Tuple[int, ScenarioSpec]],
         results: List[Optional[ScenarioResult]],
+        failures: Dict[int, FailureRecord],
         total: int,
-    ) -> int:
-        """Run the cache misses; fill ``results`` in place.
+    ) -> Tuple[int, int]:
+        """Run the cache misses; fill ``results``/``failures`` in place.
 
-        Each completed scenario is cached and reported *immediately* —
-        an interrupted sweep keeps everything already finished, which
-        is what makes long parallel sweeps resumable.
+        Each completed scenario is cached, journaled and reported
+        *immediately* — an interrupted sweep keeps everything already
+        finished, which is what makes long parallel sweeps resumable.
+        Returns ``(executions dispatched, retries among them)``.
         """
         if not pending:
-            return 0
+            return 0, 0
         if self.workers == 1 or len(pending) == 1:
+            executed = 0
             for i, spec in pending:
-                result = run_scenario(spec)
-                results[i] = result
-                if self.cache is not None:
-                    self.cache.put(spec, result.record())
-                self._tick(total, result)
-            return len(pending)
+                for attempt in range(1, self.retries + 2):
+                    executed += 1
+                    try:
+                        result = run_scenario(
+                            spec, timeout=self.timeout
+                        )
+                    except Exception as exc:
+                        if attempt > self.retries:
+                            self._fail(
+                                i,
+                                spec,
+                                type(exc).__name__,
+                                str(exc),
+                                attempt,
+                                failures,
+                                total,
+                            )
+                        continue
+                    self._finish(i, spec, result, results, total)
+                    break
+            return executed, executed - len(pending)
 
-        import multiprocessing
-
-        payloads = [spec.to_dict() for _, spec in pending]
-        with multiprocessing.Pool(
-            processes=min(self.workers, len(pending))
-        ) as pool:
-            outcomes = pool.imap(_run_record, payloads, chunksize=1)
-            for (i, spec), (record, wall) in zip(pending, outcomes):
-                results[i] = ScenarioResult.from_record(
-                    record, wall_seconds=wall
+        dispatched = run_supervised(
+            pending,
+            workers=self.workers,
+            retries=self.retries,
+            timeout=self.timeout,
+            memory_limit_mb=self.memory_limit_mb,
+            chaos=self.chaos,
+            on_result=lambda i, spec, result: self._finish(
+                i, spec, result, results, total
+            ),
+            on_failure=lambda i, spec, error, message, attempts: (
+                self._fail(
+                    i, spec, error, message, attempts, failures, total
                 )
-                if self.cache is not None:
-                    self.cache.put(spec, record)
-                self._tick(total, results[i])
-        return len(pending)
+            ),
+        )
+        return dispatched, dispatched - len(pending)
 
     # ------------------------------------------------------------------
     def run_warm(
@@ -353,11 +559,17 @@ def run_sweep(
     specs: Sequence[ScenarioSpec],
     workers: int = 1,
     cache: Optional[ResultCache] = None,
-    progress: Optional[Callable[[int, int, ScenarioResult], None]] = None,
-) -> List[ScenarioResult]:
-    """One-shot convenience wrapper around :class:`SweepRunner`."""
+    progress: Optional[Callable[[int, int, Any], None]] = None,
+    **supervision: Any,
+) -> SweepReport:
+    """One-shot convenience wrapper around :class:`SweepRunner`.
+
+    ``supervision`` forwards the robustness knobs (``retries``,
+    ``timeout``, ``quarantine``, ``journal``, ``resume``, ...) to the
+    runner.
+    """
     return SweepRunner(
-        workers=workers, cache=cache, progress=progress
+        workers=workers, cache=cache, progress=progress, **supervision
     ).run(specs)
 
 

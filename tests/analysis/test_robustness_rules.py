@@ -1,0 +1,148 @@
+"""Violating/clean fixture pairs for the robustness rule family.
+
+Same overlay technique as the determinism fixtures: every module is
+virtual, each pair pins detection (the violating twin fires) and
+precision (the clean twin stays silent).
+"""
+
+import textwrap
+
+from repro.analysis import run_lint
+
+
+def lint_src(source, path="pkg/mod.py", rules=None):
+    return run_lint(
+        [], rule_ids=rules, overlay={path: textwrap.dedent(source)}
+    )
+
+
+def rules_fired(result):
+    return sorted({f.rule for f in result.findings})
+
+
+# ----------------------------------------------------------------------
+# swallowed-exception
+# ----------------------------------------------------------------------
+def test_bare_except_pass_fires():
+    result = lint_src(
+        """
+        def fragile():
+            try:
+                risky()
+            except:
+                pass
+        """,
+        rules=["swallowed-exception"],
+    )
+    assert rules_fired(result) == ["swallowed-exception"]
+
+
+def test_base_exception_swallow_fires():
+    result = lint_src(
+        """
+        def fragile():
+            try:
+                risky()
+            except BaseException:
+                log("oops")
+        """,
+        rules=["swallowed-exception"],
+    )
+    assert rules_fired(result) == ["swallowed-exception"]
+
+
+def test_base_exception_in_tuple_fires():
+    result = lint_src(
+        """
+        def fragile():
+            try:
+                risky()
+            except (ValueError, BaseException):
+                cleanup()
+        """,
+        rules=["swallowed-exception"],
+    )
+    assert rules_fired(result) == ["swallowed-exception"]
+
+
+def test_reraise_is_clean():
+    # The atomic-write cleanup pattern: catch everything, undo, and
+    # re-raise — the failure still surfaces.
+    result = lint_src(
+        """
+        def atomic_write(tmp):
+            try:
+                commit(tmp)
+            except BaseException:
+                unlink(tmp)
+                raise
+        """,
+        rules=["swallowed-exception"],
+    )
+    assert result.findings == []
+
+
+def test_structured_error_construction_is_clean():
+    result = lint_src(
+        """
+        def supervise():
+            try:
+                run()
+            except BaseException as exc:
+                return FailureRecord(error=str(exc))
+        """,
+        rules=["swallowed-exception"],
+    )
+    assert result.findings == []
+
+
+def test_narrow_exception_is_clean():
+    # Catching a specific type is a decision, not a swallow; the
+    # rule only polices catch-everything handlers.
+    result = lint_src(
+        """
+        def tolerant():
+            try:
+                risky()
+            except ValueError:
+                pass
+        """,
+        rules=["swallowed-exception"],
+    )
+    assert result.findings == []
+
+
+def test_nested_raise_counts_as_handled():
+    result = lint_src(
+        """
+        def fragile():
+            try:
+                risky()
+            except:
+                if fatal():
+                    raise
+        """,
+        rules=["swallowed-exception"],
+    )
+    assert result.findings == []
+
+
+def test_pragma_suppresses():
+    result = lint_src(
+        """
+        def best_effort():
+            try:
+                optional_cleanup()
+            except:  # repro: allow[swallowed-exception] best-effort cleanup; nothing to report
+                pass
+        """,
+        rules=["swallowed-exception"],
+    )
+    assert result.findings == []
+    assert len(result.suppressed) == 1
+
+
+def test_rule_is_registered():
+    from repro.analysis.rules import RULES_BY_ID
+
+    assert "swallowed-exception" in RULES_BY_ID

@@ -120,3 +120,141 @@ class TestResultCache:
         hit = cache.get(spec)
         assert hit is not None
         assert hit["metrics"] == record["metrics"]
+
+
+class TestCorruptQuarantine:
+    """Corrupt entries are moved to <key>.corrupt, never re-trusted."""
+
+    def corrupt(self, cache, spec, payload="{truncated"):
+        with open(cache.path_for(spec.key), "w") as fh:
+            fh.write(payload)
+
+    def test_corrupt_entry_is_renamed_aside(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = ScenarioSpec(packets=10)
+        cache.put(spec, make_record(spec))
+        self.corrupt(cache, spec)
+        assert cache.get(spec) is None
+        assert not os.path.exists(cache.path_for(spec.key))
+        assert os.path.exists(cache.corrupt_path_for(spec.key))
+        assert cache.corrupt_quarantined == 1
+
+    def test_quarantined_bytes_preserved_for_postmortem(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = ScenarioSpec(packets=10)
+        cache.put(spec, make_record(spec))
+        self.corrupt(cache, spec, payload="{bad bytes")
+        cache.get(spec)
+        with open(cache.corrupt_path_for(spec.key)) as fh:
+            assert fh.read() == "{bad bytes"
+
+    def test_second_read_is_clean_miss_not_reparse(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = ScenarioSpec(packets=10)
+        cache.put(spec, make_record(spec))
+        self.corrupt(cache, spec)
+        assert cache.get(spec) is None
+        assert cache.get(spec) is None  # entry gone, plain miss
+        assert cache.corrupt_quarantined == 1
+
+    def test_schema_drift_is_quarantined(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = ScenarioSpec(packets=10)
+        record = make_record(spec)
+        record["schema"] = RECORD_SCHEMA + 1
+        with open(cache.path_for(spec.key), "w") as fh:
+            json.dump(record, fh)
+        assert cache.get(spec) is None
+        assert os.path.exists(cache.corrupt_path_for(spec.key))
+        assert cache.corrupt_quarantined == 1
+
+    def test_collision_is_plain_miss_not_quarantine(self, tmp_path):
+        # Right key, valid record, different spec: someone else's
+        # valid data — must NOT be destroyed.
+        cache = ResultCache(str(tmp_path))
+        spec = ScenarioSpec(packets=10)
+        other = ScenarioSpec(packets=20)
+        record = make_record(other)
+        record["key"] = spec.key
+        with open(cache.path_for(spec.key), "w") as fh:
+            json.dump(record, fh)
+        assert cache.get(spec) is None
+        assert os.path.exists(cache.path_for(spec.key))
+        assert cache.corrupt_quarantined == 0
+
+    def test_get_record_quarantines_too(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        with open(os.path.join(str(tmp_path), "warmkey.json"), "w") as fh:
+            fh.write("not json at all")
+        assert cache.get_record("warmkey") is None
+        assert os.path.exists(cache.corrupt_path_for("warmkey"))
+        assert cache.corrupt_quarantined == 1
+
+    def test_keys_skip_quarantined_entries(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = ScenarioSpec(packets=10)
+        cache.put(spec, make_record(spec))
+        self.corrupt(cache, spec)
+        cache.get(spec)
+        assert cache.keys() == []
+        assert len(cache) == 0
+
+    def test_rewrite_after_quarantine_round_trips(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = ScenarioSpec(packets=10)
+        cache.put(spec, make_record(spec))
+        self.corrupt(cache, spec)
+        cache.get(spec)
+        cache.put(spec, make_record(spec))  # the re-run overwrites
+        assert cache.get(spec) == make_record(spec)
+
+    def test_concurrent_quarantine_counts_once(self, tmp_path):
+        # Two readers race to quarantine the same entry: os.replace
+        # is atomic, exactly one rename wins, the loser's OSError is
+        # swallowed and not counted.
+        cache_a = ResultCache(str(tmp_path))
+        cache_b = ResultCache(str(tmp_path))
+        spec = ScenarioSpec(packets=10)
+        cache_a.put(spec, make_record(spec))
+        self.corrupt(cache_a, spec)
+        assert cache_a.get(spec) is None
+        assert cache_b.get(spec) is None  # file already moved: miss
+        assert cache_a.corrupt_quarantined == 1
+        assert cache_b.corrupt_quarantined == 0
+
+    def test_concurrent_writers_stay_atomic(self, tmp_path):
+        # Many processes hammering put() on the same key must leave
+        # one valid record and no droppings (atomic temp + replace).
+        import multiprocessing
+
+        spec = ScenarioSpec(packets=10)
+        with multiprocessing.Pool(4) as pool:
+            pool.starmap(
+                _put_one, [(str(tmp_path), 10)] * 8
+            )
+        cache = ResultCache(str(tmp_path))
+        assert cache.get(spec) == make_record(spec)
+        droppings = [
+            f for f in os.listdir(str(tmp_path)) if f.endswith(".tmp")
+        ]
+        assert droppings == []
+        assert cache.corrupt_quarantined == 0
+
+    def test_sweep_report_surfaces_corrupt_count(self, tmp_path):
+        from repro.experiments import SweepRunner
+
+        cache = ResultCache(str(tmp_path))
+        spec = ScenarioSpec(topology="mesh:3:3", packets=60)
+        runner = SweepRunner(cache=cache)
+        runner.run([spec])
+        self.corrupt(cache, spec)
+        runner2 = SweepRunner(cache=cache)
+        report = runner2.run([spec])
+        assert report.corrupt_cache == 1
+        assert runner2.last_stats.corrupt_cache == 1
+
+
+def _put_one(root, packets):
+    cache = ResultCache(root)
+    spec = ScenarioSpec(packets=packets)
+    cache.put(spec, make_record(spec))
